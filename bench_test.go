@@ -1,0 +1,74 @@
+package epiphany
+
+import (
+	"testing"
+
+	"epiphany/internal/bench"
+)
+
+// One testing.B benchmark per paper table/figure: `go test -bench=.`
+// regenerates the full evaluation. Each iteration rebuilds the system
+// and reruns the experiment; the interesting output is the tables
+// themselves (run cmd/epiphany-bench for those) plus the wall-clock cost
+// of regenerating each one.
+
+func benchExperiment(b *testing.B, name string, run func() *bench.Table) {
+	b.Helper()
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = run()
+	}
+	if t == nil || len(t.Rows) == 0 {
+		b.Fatalf("%s produced no rows", name)
+	}
+	b.ReportMetric(float64(len(t.Rows)), "rows")
+}
+
+func BenchmarkFig2Bandwidth(b *testing.B)     { benchExperiment(b, "fig2", bench.Fig2) }
+func BenchmarkFig3Latency(b *testing.B)       { benchExperiment(b, "fig3", bench.Fig3) }
+func BenchmarkTable1Distance(b *testing.B)    { benchExperiment(b, "table1", bench.Table1) }
+func BenchmarkTable2ELink4(b *testing.B)      { benchExperiment(b, "table2", bench.Table2) }
+func BenchmarkTable3ELink64(b *testing.B)     { benchExperiment(b, "table3", bench.Table3) }
+func BenchmarkFig5StencilSingle(b *testing.B) { benchExperiment(b, "fig5", bench.Fig5) }
+func BenchmarkFig6Stencil64(b *testing.B)     { benchExperiment(b, "fig6", bench.Fig6) }
+func BenchmarkFig7WeakScaling(b *testing.B)   { benchExperiment(b, "fig7", bench.Fig7) }
+func BenchmarkFig8StrongScaling(b *testing.B) { benchExperiment(b, "fig8", bench.Fig8) }
+func BenchmarkTable4MatmulSingle(b *testing.B) {
+	benchExperiment(b, "table4", bench.Table4)
+}
+func BenchmarkTable5MatmulOnChip(b *testing.B) {
+	benchExperiment(b, "table5", bench.Table5)
+}
+func BenchmarkTable6MatmulOffChip(b *testing.B) {
+	if testing.Short() {
+		b.Skip("off-chip paging is long; skipped in -short mode")
+	}
+	benchExperiment(b, "table6", func() *bench.Table { return bench.Table6(false) })
+}
+func BenchmarkFig14MatmulWeak(b *testing.B)   { benchExperiment(b, "fig14", bench.Fig14) }
+func BenchmarkFig15MatmulStrong(b *testing.B) { benchExperiment(b, "fig15", bench.Fig15) }
+func BenchmarkTable7Comparison(b *testing.B)  { benchExperiment(b, "table7", bench.Table7) }
+
+// Extension and ablation studies (beyond the paper's own evaluation).
+
+func BenchmarkExtStreamStencil(b *testing.B) {
+	if testing.Short() {
+		b.Skip("streams 512x512 grids")
+	}
+	benchExperiment(b, "ext-stream", bench.ExtStreamStencil)
+}
+
+func BenchmarkAblationStencilComm(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-chip stencils")
+	}
+	benchExperiment(b, "abl-comm", bench.AblationStencilComm)
+}
+
+func BenchmarkAblationELinkFairness(b *testing.B) {
+	benchExperiment(b, "abl-fair", bench.AblationELinkFairness)
+}
+
+func BenchmarkAblationCannonVsSumma(b *testing.B) {
+	benchExperiment(b, "abl-summa", bench.AblationCannonVsSumma)
+}

@@ -1,0 +1,71 @@
+// Command epiphany-bench regenerates the paper's evaluation tables and
+// figures on the simulated Epiphany system.
+//
+// Usage:
+//
+//	epiphany-bench -all            # every experiment
+//	epiphany-bench -run fig6       # one experiment
+//	epiphany-bench -list           # list experiment names
+//	epiphany-bench -run table6 -large   # include the 1536x1536 row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"epiphany/internal/bench"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every paper experiment")
+	run := flag.String("run", "", "run one experiment by name")
+	list := flag.Bool("list", false, "list experiment names")
+	large := flag.Bool("large", false, "include long-running rows (Table VI 1536x1536)")
+	extras := flag.Bool("extras", false, "also run the extension and ablation studies")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.Experiments {
+			fmt.Println(e.Name)
+		}
+		for _, e := range bench.Extras {
+			fmt.Printf("%s (extra)\n", e.Name)
+		}
+	case *run != "":
+		e, ok := bench.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		if *run == "table6" && *large {
+			show(bench.Experiment{Name: "table6", Run: func() *bench.Table { return bench.Table6(true) }})
+			return
+		}
+		show(e)
+	case *all:
+		for _, e := range bench.Experiments {
+			if e.Name == "table6" && *large {
+				e = bench.Experiment{Name: "table6", Run: func() *bench.Table { return bench.Table6(true) }}
+			}
+			show(e)
+		}
+		if *extras {
+			for _, e := range bench.Extras {
+				show(e)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func show(e bench.Experiment) {
+	start := time.Now()
+	t := e.Run()
+	fmt.Println(t)
+	fmt.Printf("[%s regenerated in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,64 @@
+// Command matmul runs a single matrix-multiplication experiment at any
+// of the paper's three levels (single core, on-chip Cannon, off-chip
+// paged) and reports performance, the compute/transfer split, and
+// (optionally) correctness.
+//
+// Examples:
+//
+//	matmul -m 32 -n 32 -k 32 -g 1            # Table IV cell
+//	matmul -m 256 -n 256 -k 256 -g 8         # Table V flagship
+//	matmul -m 512 -n 512 -k 512 -g 8 -offchip # Table VI row
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"epiphany"
+	"epiphany/internal/trace"
+)
+
+func main() {
+	m := flag.Int("m", 256, "rows of A and C")
+	n := flag.Int("n", 256, "cols of A / rows of B")
+	k := flag.Int("k", 256, "cols of B and C")
+	g := flag.Int("g", 8, "workgroup edge (1, 2, 4 or 8)")
+	off := flag.Bool("offchip", false, "page blocks through shared DRAM")
+	naive := flag.Bool("naive", false, "model the compiler-scheduled inner kernel")
+	verify := flag.Bool("verify", false, "check against the host reference (uses integer-valued inputs)")
+	algo := flag.String("algo", "cannon", "on-chip algorithm: cannon or summa")
+	showTrace := flag.Bool("trace", false, "print per-core activity heatmaps after the run")
+	seed := flag.Uint64("seed", 0, "operand seed")
+	flag.Parse()
+
+	cfg := epiphany.MatmulConfig{
+		M: *m, N: *n, K: *k, G: *g,
+		OffChip: *off, Tuned: !*naive, Verify: *verify,
+		Algorithm: *algo, Seed: *seed,
+	}
+	sys := epiphany.NewSystem()
+	res, err := sys.RunMatmul(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *showTrace {
+		fmt.Print(trace.Take(sys.Chip()))
+	}
+	fmt.Printf("C(%dx%d) = A(%dx%d) x B(%dx%d) on %dx%d cores (offchip=%v, tuned=%v)\n",
+		*m, *k, *m, *n, *n, *k, *g, *g, *off, !*naive)
+	fmt.Printf("simulated time: %v\n", res.Elapsed)
+	fmt.Printf("performance:    %.2f GFLOPS (%.1f%% of peak)\n", res.GFLOPS, res.PctPeak)
+	if *off {
+		fmt.Printf("decomposition:  %.1f%% compute, %.1f%% shared-memory transfers\n",
+			res.PctCompute(), res.PctTransfer())
+	}
+	if *verify {
+		d := epiphany.MaxAbsDiff(res.C, epiphany.MatmulReference(cfg))
+		fmt.Printf("verification:   max |diff| vs reference = %g\n", d)
+		if d != 0 {
+			os.Exit(1)
+		}
+	}
+}

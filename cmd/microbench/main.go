@@ -1,0 +1,39 @@
+// Command microbench runs the paper's §V micro-benchmarks (Figures 2-3,
+// Tables I-III) individually, with tunable parameters for the eLink
+// saturation window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"epiphany/internal/bench"
+)
+
+func main() {
+	fig2 := flag.Bool("fig2", false, "DMA vs direct-write bandwidth")
+	fig3 := flag.Bool("fig3", false, "DMA vs direct-write latency")
+	tab1 := flag.Bool("table1", false, "transfer latency vs node distance")
+	tab2 := flag.Bool("table2", false, "4-core eLink contention")
+	tab3 := flag.Bool("table3", false, "64-core eLink starvation")
+	all := flag.Bool("all", false, "run all micro-benchmarks")
+	flag.Parse()
+
+	ran := false
+	run := func(sel bool, f func() *bench.Table) {
+		if sel || *all {
+			fmt.Println(f())
+			ran = true
+		}
+	}
+	run(*fig2, bench.Fig2)
+	run(*fig3, bench.Fig3)
+	run(*tab1, bench.Table1)
+	run(*tab2, bench.Table2)
+	run(*tab3, bench.Table3)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

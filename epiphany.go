@@ -1,0 +1,162 @@
+// Package epiphany is a deterministic simulator of the Adapteva
+// Epiphany-IV 64-core network-on-chip coprocessor and a reproduction of
+// the programming study "Programming the Adapteva Epiphany 64-core
+// Network-on-chip Coprocessor" (Varghese, Edwards, Mitra, Rendell; IPDPS
+// Workshops 2014, arXiv:1410.8772).
+//
+// The package offers three levels of use:
+//
+//   - Application level: RunStencil and RunMatmul execute the paper's two
+//     application kernels (a hand-scheduled 5-point heat stencil and a
+//     three-level Cannon matrix multiplication) end to end, including the
+//     ARM-host orchestration, and report performance the way the paper
+//     does (GFLOPS, % of peak, compute/transfer split).
+//
+//   - Kernel level: Chip, Workgroup and Core expose an Epiphany-SDK-like
+//     programming surface (direct remote stores, DMA descriptors with
+//     chaining and 2D strides, event timers, barriers, hardware mutex)
+//     for writing new device kernels against the simulated chip.
+//
+//   - Experiment level: the Experiments list regenerates every table and
+//     figure from the paper's evaluation.
+//
+// Every simulation is bit-deterministic: the same program and seed
+// produce identical virtual timings and memory contents on every run.
+package epiphany
+
+import (
+	"fmt"
+
+	"epiphany/internal/bench"
+	"epiphany/internal/core"
+	"epiphany/internal/ecore"
+	"epiphany/internal/host"
+	"epiphany/internal/sdk"
+	"epiphany/internal/sim"
+)
+
+// Re-exported configuration and result types for the application level.
+type (
+	// StencilConfig configures a heat-stencil run (paper §VI).
+	StencilConfig = core.StencilConfig
+	// StencilResult reports a stencil run.
+	StencilResult = core.StencilResult
+	// MatmulConfig configures a matrix multiplication (paper §VII).
+	MatmulConfig = core.MatmulConfig
+	// MatmulResult reports a matmul run.
+	MatmulResult = core.MatmulResult
+	// StreamStencilConfig configures the temporally blocked streaming
+	// stencil (the paper's §IX future work, implemented here).
+	StreamStencilConfig = core.StreamStencilConfig
+	// StreamStencilResult reports a streamed stencil run.
+	StreamStencilResult = core.StreamStencilResult
+	// Chip is the simulated device.
+	Chip = ecore.Chip
+	// Core is the per-eCore kernel interface.
+	Core = ecore.Core
+	// Host is the ARM-side controller model.
+	Host = host.Host
+	// HostProc is the host program's execution context.
+	HostProc = host.Proc
+	// Workgroup is a rectangle of cores (SDK e_group_config).
+	Workgroup = sdk.Workgroup
+	// Time is virtual time in units of 1/3 ns (5 units per core cycle).
+	Time = sim.Time
+)
+
+// DefaultCoefs are the standard heat-diffusion stencil weights.
+var DefaultCoefs = core.DefaultCoefs
+
+// System is one simulated board: engine, chip and host. A System runs a
+// single experiment; build a fresh one per run so that virtual time,
+// memories and statistics start clean.
+type System struct {
+	eng  *sim.Engine
+	chip *ecore.Chip
+	host *host.Host
+	used bool
+}
+
+// NewSystem builds the standard 8x8 Epiphany-IV system.
+func NewSystem() *System { return NewSystemSize(8, 8) }
+
+// NewSystemSize builds a rows x cols device (for studying smaller or
+// hypothetical larger meshes; the paper's device is 8x8).
+func NewSystemSize(rows, cols int) *System {
+	eng := sim.NewEngine()
+	chip := ecore.NewChip(eng, rows, cols)
+	return &System{eng: eng, chip: chip, host: host.New(chip)}
+}
+
+// Chip returns the device for kernel-level programming.
+func (s *System) Chip() *Chip { return s.chip }
+
+// Host returns the ARM host model.
+func (s *System) Host() *Host { return s.host }
+
+// Engine returns the simulation engine (for advanced scheduling).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// NewWorkgroup creates a workgroup on this system's chip.
+func (s *System) NewWorkgroup(originRow, originCol, rows, cols int) (*Workgroup, error) {
+	return sdk.NewWorkgroup(s.chip, originRow, originCol, rows, cols)
+}
+
+func (s *System) takeRun() error {
+	if s.used {
+		return fmt.Errorf("epiphany: a System runs one experiment; create a fresh one with NewSystem")
+	}
+	s.used = true
+	return nil
+}
+
+// RunStencil executes a full host-orchestrated stencil experiment.
+func (s *System) RunStencil(cfg StencilConfig) (*StencilResult, error) {
+	if err := s.takeRun(); err != nil {
+		return nil, err
+	}
+	return core.RunStencil(s.host, cfg)
+}
+
+// RunMatmul executes a full host-orchestrated matrix multiplication.
+func (s *System) RunMatmul(cfg MatmulConfig) (*MatmulResult, error) {
+	if err := s.takeRun(); err != nil {
+		return nil, err
+	}
+	return core.RunMatmul(s.host, cfg)
+}
+
+// RunStreamStencil executes the §IX streaming stencil with temporal
+// blocking: the grid lives in shared DRAM and blocks page through the
+// chip, with TBlock iterations applied per residency.
+func (s *System) RunStreamStencil(cfg StreamStencilConfig) (*StreamStencilResult, error) {
+	if err := s.takeRun(); err != nil {
+		return nil, err
+	}
+	return core.RunStreamStencil(s.host, cfg)
+}
+
+// StreamStencilReference computes the expected streamed-stencil output
+// (plain global Jacobi iteration, which the kernel reproduces exactly).
+func StreamStencilReference(cfg StreamStencilConfig) [][]float32 {
+	return core.StreamStencilReference(cfg)
+}
+
+// StencilReference computes the host-side reference result for cfg.
+func StencilReference(cfg StencilConfig) [][]float32 { return core.StencilReference(cfg) }
+
+// MatmulReference computes the host-side reference product for cfg.
+func MatmulReference(cfg MatmulConfig) []float32 { return core.MatmulReference(cfg) }
+
+// MaxAbsDiff returns the largest elementwise difference between two
+// result vectors.
+func MaxAbsDiff(x, y []float32) float64 { return core.MaxAbsDiff(x, y) }
+
+// Experiment is one regenerable table or figure from the paper.
+type Experiment = bench.Experiment
+
+// Experiments lists every table and figure of the paper's evaluation.
+var Experiments = bench.Experiments
+
+// ExperimentByName looks up one experiment (e.g. "fig6", "table5").
+func ExperimentByName(name string) (Experiment, bool) { return bench.ByName(name) }

@@ -1,0 +1,44 @@
+package bench
+
+// Experiment names one regenerable table/figure and its generator.
+type Experiment struct {
+	Name string
+	Run  func() *Table
+}
+
+// Experiments lists every table and figure of the paper's evaluation in
+// presentation order. Table VI defaults to its quick form (512 and 1024);
+// use Table6(true) directly for the 1536 row.
+var Experiments = []Experiment{
+	{"fig2", Fig2},
+	{"fig3", Fig3},
+	{"table1", Table1},
+	{"table2", Table2},
+	{"table3", Table3},
+	{"fig5", Fig5},
+	{"fig6", Fig6},
+	{"fig7", Fig7},
+	{"fig8", Fig8},
+	{"table4", Table4},
+	{"table5", Table5},
+	{"table6", func() *Table { return Table6(false) }},
+	{"fig14", Fig14},
+	{"fig15", Fig15},
+	{"table7", Table7},
+}
+
+// ByName returns the named experiment, searching the paper experiments
+// and then the Extras (extension and ablation studies).
+func ByName(name string) (Experiment, bool) {
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	for _, e := range Extras {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"epiphany/internal/core"
+	"epiphany/internal/ecore"
+	"epiphany/internal/host"
+	"epiphany/internal/sim"
+)
+
+// newHost builds a fresh system for one experiment.
+func newHost() *host.Host {
+	eng := sim.NewEngine()
+	return host.New(ecore.NewChip(eng, 8, 8))
+}
+
+// runStencil executes one configuration, panicking on configuration
+// errors (the experiment definitions below are statically valid).
+func runStencil(cfg core.StencilConfig) *core.StencilResult {
+	res, err := core.RunStencil(newHost(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// stencilIters is the paper's evaluation length.
+const stencilIters = 50
+
+// Fig5 reproduces Figure 5: single-core stencil GFLOPS across grid
+// shapes (0.97-1.14 GFLOPS, 81-95% of peak; more rows than columns is
+// slightly better).
+func Fig5() *Table {
+	t := &Table{
+		ID:     "Figure 5",
+		Title:  "Single-core stencil floating-point performance (50 iterations)",
+		Header: []string{"grid (rows x cols)", "GFLOPS", "% of peak"},
+	}
+	for _, s := range []struct{ r, c int }{
+		{20, 20}, {40, 20}, {60, 20}, {80, 20},
+		{20, 40}, {20, 60}, {20, 80}, {40, 40}, {60, 60},
+	} {
+		res := runStencil(core.StencilConfig{
+			Rows: s.r, Cols: s.c, Iters: stencilIters,
+			GroupRows: 1, GroupCols: 1, Tuned: true,
+		})
+		t.AddRow(fmt.Sprintf("%dx%d", s.r, s.c), f3(res.GFLOPS), f1(res.PctPeak))
+	}
+	t.AddNote("paper: 0.97-1.14 GFLOPS (81-95%% of 1.2 GFLOPS peak)")
+	return t
+}
+
+// Fig6 reproduces Figure 6: 64-core stencil performance with (dark bars)
+// and without (light bars) boundary communication.
+func Fig6() *Table {
+	t := &Table{
+		ID:     "Figure 6",
+		Title:  "64-core stencil performance with and without communication",
+		Header: []string{"per-core grid", "no-comm GFLOPS", "comm GFLOPS", "drop %"},
+	}
+	for _, s := range []struct{ r, c int }{
+		{20, 20}, {40, 20}, {80, 20}, {20, 40}, {20, 80}, {40, 40},
+	} {
+		base := core.StencilConfig{
+			Rows: s.r, Cols: s.c, Iters: stencilIters,
+			GroupRows: 8, GroupCols: 8, Tuned: true,
+		}
+		nc := runStencil(base)
+		wc := base
+		wc.Comm = true
+		cc := runStencil(wc)
+		drop := 100 * (nc.GFLOPS - cc.GFLOPS) / nc.GFLOPS
+		t.AddRow(fmt.Sprintf("%dx%d", s.r, s.c), f2(nc.GFLOPS), f2(cc.GFLOPS), f1(drop))
+	}
+	t.AddNote("paper peak: 72.83 GFLOPS no-comm, 63.6 GFLOPS (82.8%% of peak) with comm at 80x20")
+	return t
+}
+
+// stencilGroupLadder is the core-count progression used by the scaling
+// experiments: 1, 2, 4, 8, 16, 32, 64 cores.
+var stencilGroupLadder = []struct{ gr, gc int }{
+	{1, 1}, {1, 2}, {2, 2}, {2, 4}, {4, 4}, {4, 8}, {8, 8},
+}
+
+// Fig7 reproduces Figure 7: weak scaling with a constant 60x60 per-core
+// grid from 1 core (60x60 total) to 64 cores (480x480 total).
+func Fig7() *Table {
+	t := &Table{
+		ID:     "Figure 7",
+		Title:  "Stencil weak scaling: 60x60 per core, 50 iterations",
+		Header: []string{"cores", "config", "global grid", "time (ms)"},
+	}
+	for _, g := range stencilGroupLadder {
+		res := runStencil(core.StencilConfig{
+			Rows: 60, Cols: 60, Iters: stencilIters,
+			GroupRows: g.gr, GroupCols: g.gc, Comm: true, Tuned: true,
+		})
+		t.AddRow(fmt.Sprint(g.gr*g.gc), fmt.Sprintf("%dx%d", g.gr, g.gc),
+			fmt.Sprintf("%dx%d", g.gr*60, g.gc*60),
+			f3(res.Elapsed.Seconds()*1e3))
+	}
+	t.AddNote("paper: time rises with the first few cores (communication appears) then levels out after 8 cores")
+	return t
+}
+
+// Fig8 reproduces Figure 8: strong scaling for three fixed problem
+// sizes. Sizes are chosen so that every workgroup shape keeps per-core
+// columns a multiple of the 20-point stripe (see EXPERIMENTS.md).
+func Fig8() *Table {
+	t := &Table{
+		ID:     "Figure 8",
+		Title:  "Stencil strong scaling: speedup vs single core, 50 iterations",
+		Header: []string{"cores", "config", "16x160", "24x160", "32x160"},
+	}
+	sizes := []struct{ r, c int }{{16, 160}, {24, 160}, {32, 160}}
+	base := make([]sim.Time, len(sizes))
+	for _, g := range stencilGroupLadder {
+		row := []string{fmt.Sprint(g.gr * g.gc), fmt.Sprintf("%dx%d", g.gr, g.gc)}
+		for i, s := range sizes {
+			if s.r%g.gr != 0 || s.c%g.gc != 0 || (s.c/g.gc)%20 != 0 || s.r/g.gr < 2 {
+				row = append(row, "-")
+				continue
+			}
+			res := runStencil(core.StencilConfig{
+				Rows: s.r / g.gr, Cols: s.c / g.gc, Iters: stencilIters,
+				GroupRows: g.gr, GroupCols: g.gc, Comm: true, Tuned: true,
+			})
+			if g.gr == 1 && g.gc == 1 {
+				base[i] = res.Elapsed
+			}
+			row = append(row, f2(float64(base[i])/float64(res.Elapsed)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("cells are speedups; paper: first doubling gives ~2x, later doublings slightly less, larger problems scale better")
+	return t
+}

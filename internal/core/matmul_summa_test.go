@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func verifySumma(t *testing.T, cfg MatmulConfig) *MatmulResult {
+	t.Helper()
+	cfg.Algorithm = "summa"
+	return verifyMM(t, cfg)
+}
+
+func TestSummaSingleCore(t *testing.T) {
+	verifySumma(t, MatmulConfig{M: 16, N: 16, K: 16, G: 1, Tuned: true, Seed: 1})
+}
+
+func TestSumma2x2(t *testing.T) {
+	verifySumma(t, MatmulConfig{M: 32, N: 32, K: 32, G: 2, Tuned: true, Seed: 2})
+}
+
+func TestSumma4x4(t *testing.T) {
+	verifySumma(t, MatmulConfig{M: 64, N: 64, K: 64, G: 4, Tuned: true, Seed: 3})
+}
+
+func TestSumma8x8(t *testing.T) {
+	verifySumma(t, MatmulConfig{M: 128, N: 128, K: 128, G: 8, Tuned: true, Seed: 4})
+}
+
+func TestSummaRectangular(t *testing.T) {
+	verifySumma(t, MatmulConfig{M: 32, N: 64, K: 32, G: 2, Tuned: true, Seed: 5})
+	verifySumma(t, MatmulConfig{M: 64, N: 128, K: 64, G: 4, Tuned: true, Seed: 6})
+}
+
+func TestSummaRejectsOffChipAnd32Blocks(t *testing.T) {
+	if _, err := RunMatmul(newHost(), MatmulConfig{
+		M: 512, N: 512, K: 512, G: 8, OffChip: true, Algorithm: "summa",
+	}); err == nil {
+		t.Fatal("off-chip SUMMA should be rejected")
+	}
+	// 32^3 per-core blocks leave no room for panel workspace.
+	if _, err := RunMatmul(newHost(), MatmulConfig{
+		M: 256, N: 256, K: 256, G: 8, Algorithm: "summa",
+	}); err == nil {
+		t.Fatal("32-wide SUMMA blocks should be rejected for lack of workspace")
+	}
+	if _, err := RunMatmul(newHost(), MatmulConfig{
+		M: 64, N: 64, K: 64, G: 4, Algorithm: "pumma",
+	}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSummaVsCannonPerformance(t *testing.T) {
+	// Same product both ways: results identical (integer inputs), Cannon
+	// somewhat faster on the torus (nearest-neighbour only), SUMMA within
+	// ~2x (pipelined broadcasts cost hops).
+	cfg := MatmulConfig{M: 128, N: 128, K: 128, G: 8, Tuned: true, Verify: true, Seed: 7}
+	cannon := runMM(t, cfg)
+	scfg := cfg
+	scfg.Algorithm = "summa"
+	sum := runMM(t, scfg)
+	if d := MaxAbsDiff(cannon.C, sum.C); d != 0 {
+		t.Fatalf("cannon and summa disagree by %g", d)
+	}
+	if sum.Elapsed <= cannon.Elapsed/2 {
+		t.Fatalf("summa (%v) suspiciously faster than cannon (%v)", sum.Elapsed, cannon.Elapsed)
+	}
+	if sum.Elapsed > cannon.Elapsed*3 {
+		t.Fatalf("summa (%v) more than 3x slower than cannon (%v)", sum.Elapsed, cannon.Elapsed)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"epiphany/internal/ecore"
+	"epiphany/internal/host"
+	"epiphany/internal/sdk"
+	"epiphany/internal/sim"
+)
+
+// Property: the distributed stencil equals the global Jacobi reference
+// for random small configurations.
+func TestStencilDistributedEqualsReferenceProperty(t *testing.T) {
+	f := func(rowsSel, groupSel, iterSel, seed uint8) bool {
+		rows := 4 + int(rowsSel%3)*4 // 4, 8, 12
+		groups := []struct{ r, c int }{{1, 1}, {1, 2}, {2, 2}, {2, 4}}
+		g := groups[int(groupSel)%len(groups)]
+		cfg := StencilConfig{
+			Rows: rows, Cols: 20, Iters: 1 + int(iterSel%5),
+			GroupRows: g.r, GroupCols: g.c,
+			Comm: true, Tuned: true, Seed: uint64(seed),
+		}
+		res, err := RunStencil(newHost(), cfg)
+		if err != nil {
+			return false
+		}
+		ref := StencilReference(cfg)
+		for r := range ref {
+			for c := range ref[r] {
+				if ref[r][c] != res.Global[r][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both matmul algorithms produce identical, reference-exact
+// results for random shapes with integer-valued inputs.
+func TestMatmulAlgorithmsAgreeProperty(t *testing.T) {
+	f := func(mSel, nSel, kSel, gSel, seed uint8) bool {
+		gs := []int{1, 2, 4}
+		g := gs[int(gSel)%len(gs)]
+		m := (1 + int(mSel%3)) * 8 * g // 8g, 16g, 24g
+		n := (1 + int(nSel%2)) * 8 * g
+		k := (1 + int(kSel%3)) * 8 * g
+		if k/g > 32 {
+			return true
+		}
+		cfg := MatmulConfig{M: m, N: n, K: k, G: g, Tuned: true, Verify: true, Seed: uint64(seed)}
+		ca, err := RunMatmul(newHost(), cfg)
+		if err != nil {
+			return false
+		}
+		scfg := cfg
+		scfg.Algorithm = "summa"
+		su, err := RunMatmul(newHost(), scfg)
+		if err != nil {
+			return false
+		}
+		ref := MatmulReference(cfg)
+		return MaxAbsDiff(ca.C, ref) == 0 && MaxAbsDiff(su.C, ref) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more iterations never make the stencil run faster, and time
+// scales linearly in iterations (fixed per-iteration cost).
+func TestStencilTimeLinearInIterations(t *testing.T) {
+	cfg := StencilConfig{Rows: 20, Cols: 20, GroupRows: 2, GroupCols: 2, Comm: true, Tuned: true}
+	times := map[int]sim.Time{}
+	for _, it := range []int{10, 20, 40} {
+		c := cfg
+		c.Iters = it
+		res, err := RunStencil(newHost(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[it] = res.Elapsed
+	}
+	d1 := times[20] - times[10]
+	d2 := times[40] - times[20]
+	if d2 < 2*d1-sim.Time(200*sim.Cycle) || d2 > 2*d1+sim.Time(200*sim.Cycle) {
+		t.Fatalf("iteration cost not linear: +10 iters = %v, +20 iters = %v", d1, d2)
+	}
+}
+
+// Failure injection: a kernel that panics surfaces as a simulation error
+// naming the core, not a hang or a silent success.
+func TestKernelPanicSurfaces(t *testing.T) {
+	h := newHost()
+	h.Chip().Launch(3, "bad-kernel", func(c *ecore.Core) {
+		c.Compute(10, 0)
+		panic("kernel bug")
+	})
+	err := h.Chip().Engine().Run()
+	if err == nil {
+		t.Fatal("panicking kernel should fail the run")
+	}
+}
+
+// Failure injection: a kernel waiting on a flag nobody writes is reported
+// as a deadlock with the core named.
+func TestLostFlagIsDeadlock(t *testing.T) {
+	h := newHost()
+	h.Chip().Launch(0, "waiter", func(c *ecore.Core) {
+		c.WaitLocal32GE(0x700, 1) // never written
+	})
+	err := h.Chip().Engine().Run()
+	if err == nil {
+		t.Fatal("lost flag should deadlock")
+	}
+}
+
+// Failure injection: mismatched barrier participation deadlocks rather
+// than silently desynchronizing.
+func TestPartialBarrierDeadlocks(t *testing.T) {
+	h := newHost()
+	wg, err := newWorkgroup(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Launch only 3 of the 4 members.
+	for _, pos := range [][2]int{{0, 0}, {0, 1}, {1, 0}} {
+		gr, gc := pos[0], pos[1]
+		h.Chip().Launch(wg.CoreIndex(gr, gc), "member", func(c *ecore.Core) {
+			barrierFor(wg, gr, gc).Wait(c)
+		})
+	}
+	if err := h.Chip().Engine().Run(); err == nil {
+		t.Fatal("barrier with a missing member should deadlock")
+	}
+}
+
+// Helpers for the barrier failure-injection test.
+
+func newWorkgroup(h *host.Host) (*sdk.Workgroup, error) {
+	return sdk.NewWorkgroup(h.Chip(), 0, 0, 2, 2)
+}
+
+func barrierFor(w *sdk.Workgroup, gr, gc int) *sdk.Barrier {
+	return sdk.NewBarrier(w, gr, gc)
+}

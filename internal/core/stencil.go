@@ -1,0 +1,516 @@
+package core
+
+import (
+	"fmt"
+
+	"epiphany/internal/dma"
+	"epiphany/internal/ecore"
+	"epiphany/internal/host"
+	"epiphany/internal/mem"
+	"epiphany/internal/sdk"
+	"epiphany/internal/sim"
+)
+
+// Per-core scratchpad plan for the stencil kernel (paper §VI: code in its
+// own bank, stack separate, grid in the remaining banks).
+const (
+	stencilCodeOff  mem.Addr = 0x0000
+	stencilCodeSize          = 6 * 1024
+	stencilStackOff mem.Addr = 0x1800
+	stencilStackSz           = 2 * 1024
+	stencilGridOff  mem.Addr = 0x2000
+	stencilFlagsOff mem.Addr = 0x7D00
+	// Flag words: 4 incoming iteration counters (compute done) and 4
+	// incoming transfer counters, indexed by direction.
+	stencilFlagsSize = 64
+)
+
+// Directions index the four stencil neighbours.
+const (
+	dirTop = iota
+	dirBottom
+	dirLeft
+	dirRight
+	numDirs
+)
+
+var opposite = [numDirs]int{dirBottom, dirTop, dirRight, dirLeft}
+
+// dirOffsets in (drow, dcol) form.
+var dirOffsets = [numDirs][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+
+// Shape selects the 5-point stencil's geometry within the 3x3
+// neighbourhood, per §VI's observation that the kernel "can be trivially
+// modified to perform any 5-point stencil within a 3x3 area containing a
+// grid point, such as an 'X' shaped stencil".
+type Shape int
+
+// Stencil shapes.
+const (
+	// Plus is the paper's star stencil: T, L, C, R, B.
+	Plus Shape = iota
+	// Cross uses the diagonals: NW, NE, C, SW, SE. Its halo exchange
+	// needs corner values, so columns move before (widened) rows.
+	Cross
+)
+
+// StencilConfig describes one stencil run.
+type StencilConfig struct {
+	// Rows, Cols: per-core interior grid size. For the tuned kernel Cols
+	// must be a multiple of 20 (the stripe width).
+	Rows, Cols int
+	// Iters: grid passes (the paper evaluates 50).
+	Iters int
+	// GroupRows, GroupCols: workgroup shape (1x1 up to 8x8).
+	GroupRows, GroupCols int
+	// Comm: exchange boundary regions each iteration (Figure 6's darker
+	// bars). Without it each core computes an independent replicated
+	// problem (the lighter bars).
+	Comm bool
+	// Tuned selects the hand-scheduled assembly model; false models the
+	// e-gcc compiled kernel.
+	Tuned bool
+	// DirectComm exchanges boundaries with CPU-issued word writes instead
+	// of DMA chains (an ablation of the paper's design choice; §V shows
+	// direct writes win only for small transfers).
+	DirectComm bool
+	// Shape selects the plus (default) or diagonal-cross stencil.
+	Shape Shape
+	// Coefs are the five stencil weights (T, L, C, R, B for Plus;
+	// NW, NE, C, SW, SE for Cross).
+	Coefs [5]float32
+	// Seed for the synthetic initial temperature field.
+	Seed uint64
+	// Initial, when non-nil, supplies the global temperature field
+	// including its fixed boundary ring: (GroupRows*Rows + 2) rows by
+	// (GroupCols*Cols + 2) columns. When nil a deterministic random
+	// field derived from Seed is used.
+	Initial [][]float32
+}
+
+// DefaultCoefs are plausible heat-diffusion weights (sum 1).
+var DefaultCoefs = [5]float32{0.125, 0.125, 0.5, 0.125, 0.125}
+
+func (cfg *StencilConfig) validate() error {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.Iters <= 0 {
+		return fmt.Errorf("core: non-positive stencil dimensions %+v", cfg)
+	}
+	if cfg.GroupRows <= 0 || cfg.GroupCols <= 0 {
+		return fmt.Errorf("core: bad workgroup %dx%d", cfg.GroupRows, cfg.GroupCols)
+	}
+	gridBytes := 4 * (cfg.Rows + 2) * (cfg.Cols + 2)
+	if stencilGridOff+mem.Addr(gridBytes) > stencilFlagsOff {
+		return fmt.Errorf("core: %dx%d grid (%d B + halo) does not fit the scratchpad plan",
+			cfg.Rows, cfg.Cols, gridBytes)
+	}
+	if cfg.Tuned && cfg.Cols%20 != 0 {
+		return fmt.Errorf("core: tuned stencil requires cols %% 20 == 0, got %d", cfg.Cols)
+	}
+	if cfg.Shape == Cross && cfg.DirectComm {
+		return fmt.Errorf("core: the direct-write exchange does not carry corner halo values; Cross requires the DMA path")
+	}
+	return nil
+}
+
+// stencilLayout builds and checks the scratchpad plan for a config.
+func stencilLayout(cfg *StencilConfig) (*mem.Layout, error) {
+	l := mem.NewLayout()
+	gridBytes := 4 * (cfg.Rows + 2) * (cfg.Cols + 2)
+	steps := []struct {
+		name string
+		off  mem.Addr
+		size int
+	}{
+		{"code", stencilCodeOff, stencilCodeSize},
+		{"stack", stencilStackOff, stencilStackSz},
+		{"grid", stencilGridOff, gridBytes},
+		{"flags", stencilFlagsOff, stencilFlagsSize},
+	}
+	for _, s := range steps {
+		if _, err := l.PlaceAt(s.name, s.off, s.size); err != nil {
+			return nil, err
+		}
+	}
+	if err := sdk.ReserveSDK(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// StencilResult reports a run.
+type StencilResult struct {
+	Elapsed    sim.Time
+	TotalFlops uint64
+	GFLOPS     float64
+	PctPeak    float64
+	// Global holds the gathered interior grid (GroupRows*Rows rows by
+	// GroupCols*Cols cols) when cfg.Comm is set; for replicated runs it
+	// holds core (0,0)'s interior.
+	Global [][]float32
+}
+
+// peakGFLOPS is 2 flops/cycle/core at the 600 MHz modelled clock.
+func peakGFLOPS(cores int) float64 {
+	return 2 * float64(cores) / sim.Cycle.Nanoseconds()
+}
+
+// stencilKernel is the device-side program for one core.
+func stencilKernel(c *ecore.Core, w *sdk.Workgroup, gr, gc int, cfg *StencilConfig) {
+	pitch := cfg.Cols + 2
+	rows := cfg.Rows
+	gridAt := func(r, col int) mem.Addr {
+		return stencilGridOff + mem.Addr(4*(r*pitch+col))
+	}
+	cycles, flops := StencilComputeModel(rows, cfg.Cols, cfg.Tuned)
+
+	// Neighbour discovery (SDK e_neighbor_id, Clamp mode: grid edges have
+	// no neighbour).
+	var nbr [numDirs]int
+	var has [numDirs]bool
+	for d := 0; d < numDirs; d++ {
+		nbr[d], has[d] = w.Neighbour(gr, gc, dirOffsets[d][0], dirOffsets[d][1], sdk.Clamp)
+		if !cfg.Comm {
+			has[d] = false
+		}
+	}
+
+	// Build the boundary-exchange descriptor chains once, exactly as
+	// Listing 2 does: DMA0 chains bottom+top edge rows as doubleword
+	// transfers; DMA1 chains right+left edge columns as 2D word
+	// transfers.
+	var chain0, chain1 *dma.Desc
+	if cfg.Comm && !cfg.DirectComm {
+		mkRow := func(srcRow, dstRow, dstCore int) *dma.Desc {
+			d := dma.Desc1D(gridAt(srcRow, 1),
+				c.Chip().Map().GlobalOf(dstCore, gridAt(dstRow, 1)), 4*cfg.Cols, 8)
+			return c.DMASetDesc(d)
+		}
+		mkCol := func(srcCol, dstCol, dstCore int) *dma.Desc {
+			d := &dma.Desc{
+				Beat: 4, InnerCount: 1, OuterCount: rows,
+				SrcOuterStride: 4 * pitch, DstOuterStride: 4 * pitch,
+				Src: gridAt(1, srcCol),
+				Dst: c.Chip().Map().GlobalOf(dstCore, gridAt(1, dstCol)),
+			}
+			return c.DMASetDesc(d)
+		}
+		if has[dirBottom] {
+			chain0 = mkRow(rows, 0, nbr[dirBottom]) // my last row -> their halo row 0
+		}
+		if has[dirTop] {
+			d := mkRow(1, rows+1, nbr[dirTop]) // my first row -> their halo row R+1
+			d.Chain, chain0 = chain0, d
+		}
+		if has[dirRight] {
+			chain1 = mkCol(cfg.Cols, 0, nbr[dirRight])
+		}
+		if has[dirLeft] {
+			d := mkCol(1, cfg.Cols+1, nbr[dirLeft])
+			d.Chain, chain1 = chain1, d
+		}
+		if cfg.Shape == Cross {
+			// Diagonal stencils need corner halo values: widen the row
+			// transfers to span the halo columns (filled by the column
+			// exchange, which therefore must run first).
+			mkWideRow := func(srcRow, dstRow, dstCore int) *dma.Desc {
+				return c.DMASetDesc(dma.Desc1D(gridAt(srcRow, 0),
+					c.Chip().Map().GlobalOf(dstCore, gridAt(dstRow, 0)), 4*pitch, 8))
+			}
+			chain0 = nil
+			if has[dirBottom] {
+				chain0 = mkWideRow(rows, 0, nbr[dirBottom])
+			}
+			if has[dirTop] {
+				d := mkWideRow(1, rows+1, nbr[dirTop])
+				d.Chain, chain0 = chain0, d
+			}
+		}
+	}
+
+	sram := c.Local()
+	prev := make([]float32, pitch) // rolling copy of the pre-update row above
+	cur := make([]float32, pitch)
+	signal := func(base mem.Addr, iter uint32) {
+		for d := 0; d < numDirs; d++ {
+			if has[d] {
+				nr, nc := c.Chip().Map().CoreCoords(nbr[d])
+				c.StoreGlobal32(c.GlobalOn(nr, nc, base+mem.Addr(4*opposite[d])), iter)
+			}
+		}
+	}
+	await := func(base mem.Addr, iter uint32) {
+		for d := 0; d < numDirs; d++ {
+			if has[d] {
+				c.WaitLocal32GE(base+mem.Addr(4*d), iter)
+			}
+		}
+	}
+
+	for iter := 1; iter <= cfg.Iters; iter++ {
+		// Functional sweep: the register-buffered in-place kernel has
+		// Jacobi semantics (all five inputs are pre-update values; the
+		// already-updated row above survives in registers), so the sweep
+		// keeps a one-row rolling buffer of pre-update values.
+		for col := 0; col < pitch; col++ {
+			prev[col] = sram.LoadF32(gridAt(0, col))
+		}
+		for r := 1; r <= rows; r++ {
+			for col := 0; col < pitch; col++ {
+				cur[col] = sram.LoadF32(gridAt(r, col))
+			}
+			for col := 1; col <= cfg.Cols; col++ {
+				var v float32
+				if cfg.Shape == Cross {
+					v = cfg.Coefs[0]*prev[col-1] +
+						cfg.Coefs[1]*prev[col+1] +
+						cfg.Coefs[2]*cur[col] +
+						cfg.Coefs[3]*sram.LoadF32(gridAt(r+1, col-1)) +
+						cfg.Coefs[4]*sram.LoadF32(gridAt(r+1, col+1))
+				} else {
+					v = cfg.Coefs[0]*prev[col] +
+						cfg.Coefs[1]*cur[col-1] +
+						cfg.Coefs[2]*cur[col] +
+						cfg.Coefs[3]*cur[col+1] +
+						cfg.Coefs[4]*sram.LoadF32(gridAt(r+1, col))
+				}
+				sram.StoreF32(gridAt(r, col), v)
+			}
+			prev, cur = cur, prev
+		}
+		c.Compute(cycles, flops)
+
+		if !cfg.Comm {
+			continue
+		}
+		// Listing 2: synchronize with the four neighbours, move the edge
+		// data, then synchronize on transfer completion.
+		signal(stencilFlagsOff, uint32(iter))
+		await(stencilFlagsOff, uint32(iter))
+		if cfg.DirectComm {
+			// Ablation path: the CPU copies every edge word itself.
+			remote := func(d int, off mem.Addr) mem.Addr {
+				nr, nc := c.Chip().Map().CoreCoords(nbr[d])
+				return c.GlobalOn(nr, nc, off)
+			}
+			if has[dirBottom] {
+				c.CopyWordsTo(remote(dirBottom, gridAt(0, 1)), gridAt(rows, 1), cfg.Cols)
+			}
+			if has[dirTop] {
+				c.CopyWordsTo(remote(dirTop, gridAt(rows+1, 1)), gridAt(1, 1), cfg.Cols)
+			}
+			if has[dirRight] {
+				for r := 1; r <= rows; r++ {
+					c.CopyWordsTo(remote(dirRight, gridAt(r, 0)), gridAt(r, cfg.Cols), 1)
+				}
+			}
+			if has[dirLeft] {
+				for r := 1; r <= rows; r++ {
+					c.CopyWordsTo(remote(dirLeft, gridAt(r, cfg.Cols+1)), gridAt(r, 1), 1)
+				}
+			}
+		} else if cfg.Shape == Cross {
+			// Columns first; once the left/right exchanges are complete
+			// on both sides, the widened rows carry valid corner values.
+			if chain1 != nil {
+				c.DMAStart(dma.DMA1, chain1)
+				c.DMAWait(dma.DMA1)
+			}
+			for _, d := range []int{dirLeft, dirRight} {
+				if has[d] {
+					nr, nc := c.Chip().Map().CoreCoords(nbr[d])
+					c.StoreGlobal32(c.GlobalOn(nr, nc, stencilFlagsOff+32+mem.Addr(4*opposite[d])), uint32(iter))
+				}
+			}
+			for _, d := range []int{dirLeft, dirRight} {
+				if has[d] {
+					c.WaitLocal32GE(stencilFlagsOff+32+mem.Addr(4*d), uint32(iter))
+				}
+			}
+			if chain0 != nil {
+				c.DMAStart(dma.DMA0, chain0)
+				c.DMAWait(dma.DMA0)
+			}
+		} else {
+			if chain0 != nil {
+				c.DMAStart(dma.DMA0, chain0)
+			}
+			if chain1 != nil {
+				c.DMAStart(dma.DMA1, chain1)
+			}
+			if chain0 != nil {
+				c.DMAWait(dma.DMA0)
+			}
+			if chain1 != nil {
+				c.DMAWait(dma.DMA1)
+			}
+		}
+		signal(stencilFlagsOff+16, uint32(iter))
+		await(stencilFlagsOff+16, uint32(iter))
+	}
+}
+
+// RunStencil performs a full host-orchestrated stencil experiment.
+func RunStencil(h *host.Host, cfg StencilConfig) (*StencilResult, error) {
+	if cfg.Coefs == ([5]float32{}) {
+		cfg.Coefs = DefaultCoefs
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := stencilLayout(&cfg); err != nil {
+		return nil, err
+	}
+	w, err := sdk.NewWorkgroup(h.Chip(), 0, 0, cfg.GroupRows, cfg.GroupCols)
+	if err != nil {
+		return nil, err
+	}
+
+	global := makeStencilInput(&cfg)
+	res := &StencilResult{}
+	hostErr := error(nil)
+	h.Spawn("stencil-host", func(hp *host.Proc) {
+		pitch := cfg.Cols + 2
+		// Step 2-4 of §III: load the image, then each core's grid block
+		// (interior plus halo) directly into its local memory.
+		cores := make([]int, 0, w.Size())
+		for gr := 0; gr < cfg.GroupRows; gr++ {
+			for gc := 0; gc < cfg.GroupCols; gc++ {
+				cores = append(cores, w.CoreIndex(gr, gc))
+			}
+		}
+		hp.LoadImage(cores, stencilCodeSize)
+		for gr := 0; gr < cfg.GroupRows; gr++ {
+			for gc := 0; gc < cfg.GroupCols; gc++ {
+				block := make([]float32, (cfg.Rows+2)*pitch)
+				for r := 0; r < cfg.Rows+2; r++ {
+					gRow := gr*cfg.Rows + r
+					for col := 0; col < pitch; col++ {
+						gCol := gc*cfg.Cols + col
+						block[r*pitch+col] = global[gRow][gCol]
+					}
+				}
+				hp.WriteCoreF32(w.CoreIndex(gr, gc), stencilGridOff, block)
+			}
+		}
+
+		start := hp.Now()
+		procs := w.Launch("stencil", func(c *ecore.Core, gr, gc int) {
+			stencilKernel(c, w, gr, gc, &cfg)
+		})
+		hp.Join(procs)
+		res.Elapsed = hp.Now() - start
+
+		// Gather (step 5).
+		if cfg.Comm {
+			res.Global = make([][]float32, cfg.GroupRows*cfg.Rows)
+			for gr := 0; gr < cfg.GroupRows; gr++ {
+				for gc := 0; gc < cfg.GroupCols; gc++ {
+					blk := hp.ReadCoreF32(w.CoreIndex(gr, gc), stencilGridOff, (cfg.Rows+2)*pitch)
+					for r := 1; r <= cfg.Rows; r++ {
+						gRow := gr*cfg.Rows + r - 1
+						if res.Global[gRow] == nil {
+							res.Global[gRow] = make([]float32, cfg.GroupCols*cfg.Cols)
+						}
+						for col := 1; col <= cfg.Cols; col++ {
+							res.Global[gRow][gc*cfg.Cols+col-1] = blk[r*pitch+col]
+						}
+					}
+				}
+			}
+		} else {
+			blk := hp.ReadCoreF32(w.CoreIndex(0, 0), stencilGridOff, (cfg.Rows+2)*pitch)
+			res.Global = make([][]float32, cfg.Rows)
+			for r := 1; r <= cfg.Rows; r++ {
+				res.Global[r-1] = make([]float32, cfg.Cols)
+				for col := 1; col <= cfg.Cols; col++ {
+					res.Global[r-1][col-1] = blk[r*pitch+col]
+				}
+			}
+		}
+	})
+	if err := h.Chip().Engine().Run(); err != nil {
+		return nil, err
+	}
+	if hostErr != nil {
+		return nil, hostErr
+	}
+	res.TotalFlops = uint64(w.Size()) * uint64(cfg.Rows) * uint64(cfg.Cols) * 10 * uint64(cfg.Iters)
+	res.GFLOPS = float64(res.TotalFlops) / res.Elapsed.Nanoseconds()
+	res.PctPeak = 100 * res.GFLOPS / peakGFLOPS(w.Size())
+	return res, nil
+}
+
+// makeStencilInput builds the deterministic global temperature field,
+// including the fixed boundary ring (and inter-block halo seams, which
+// are simply interior values of the neighbouring block).
+func makeStencilInput(cfg *StencilConfig) [][]float32 {
+	gRows := cfg.GroupRows*cfg.Rows + 2
+	gCols := cfg.GroupCols*cfg.Cols + 2
+	if cfg.Initial != nil {
+		if len(cfg.Initial) != gRows || len(cfg.Initial[0]) != gCols {
+			panic(fmt.Sprintf("core: Initial field is %dx%d, want %dx%d (interior plus boundary ring)",
+				len(cfg.Initial), len(cfg.Initial[0]), gRows, gCols))
+		}
+		g := make([][]float32, gRows)
+		for r := range g {
+			g[r] = append([]float32(nil), cfg.Initial[r]...)
+		}
+		return g
+	}
+	rng := sim.NewRand(cfg.Seed + 1)
+	g := make([][]float32, gRows)
+	for r := range g {
+		g[r] = make([]float32, gCols)
+		for c := range g[r] {
+			g[r][c] = rng.Float32() * 100
+		}
+	}
+	return g
+}
+
+// StencilReference runs the same Jacobi iteration on the host for
+// verification: the distributed kernel's semantics are exactly global
+// Jacobi with a fixed boundary ring (see stencilKernel). For replicated
+// (Comm=false) runs each core's block iterates with frozen halos, which
+// is what a single-block reference with frozen edges computes.
+func StencilReference(cfg StencilConfig) [][]float32 {
+	if cfg.Coefs == ([5]float32{}) {
+		cfg.Coefs = DefaultCoefs
+	}
+	g := makeStencilInput(&cfg)
+	rows := cfg.GroupRows * cfg.Rows
+	cols := cfg.GroupCols * cfg.Cols
+	if !cfg.Comm {
+		rows, cols = cfg.Rows, cfg.Cols
+	}
+	cur := g
+	next := make([][]float32, len(g))
+	for r := range next {
+		next[r] = append([]float32(nil), g[r]...)
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		for r := 1; r <= rows; r++ {
+			for c := 1; c <= cols; c++ {
+				if cfg.Shape == Cross {
+					next[r][c] = cfg.Coefs[0]*cur[r-1][c-1] +
+						cfg.Coefs[1]*cur[r-1][c+1] +
+						cfg.Coefs[2]*cur[r][c] +
+						cfg.Coefs[3]*cur[r+1][c-1] +
+						cfg.Coefs[4]*cur[r+1][c+1]
+				} else {
+					next[r][c] = cfg.Coefs[0]*cur[r-1][c] +
+						cfg.Coefs[1]*cur[r][c-1] +
+						cfg.Coefs[2]*cur[r][c] +
+						cfg.Coefs[3]*cur[r][c+1] +
+						cfg.Coefs[4]*cur[r+1][c]
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([][]float32, rows)
+	for r := 1; r <= rows; r++ {
+		out[r-1] = append([]float32(nil), cur[r][1:cols+1]...)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+// Package dma models the per-eCore DMA engines: two channels per core,
+// descriptor-driven 1D/2D transfers with independent source/destination
+// strides, word or doubleword beats, and descriptor chaining - the
+// feature set the paper's Listing 2 exercises for the stencil boundary
+// exchange and §VII uses for matrix rotation.
+//
+// A transfer is simulated in two aspects: functionally (bytes really move
+// between the simulated SRAMs/DRAM, at completion time) and temporally
+// (the engine paces at the calibrated 2 GB/s doubleword rate, books
+// occupancy on the mesh links it crosses, and competes through the eLink
+// arbiter for off-chip destinations).
+package dma
+
+import (
+	"fmt"
+
+	"epiphany/internal/mem"
+	"epiphany/internal/noc"
+	"epiphany/internal/sim"
+)
+
+// Fabric bundles the chip-level facilities a DMA engine needs. The ecore
+// package constructs one per chip and shares it among all engines.
+type Fabric struct {
+	Eng       *sim.Engine
+	Map       *mem.Map
+	Mesh      *noc.Mesh
+	ELink     *noc.ELink
+	ELinkRead *sim.Resource // read direction of the off-chip link
+	SRAMs     []*mem.SRAM
+	DRAM      *mem.DRAM
+	// Notify, when non-nil, is invoked whenever a transfer deposits data
+	// into a core's SRAM, so pollers of that memory can be re-evaluated.
+	Notify func(core int)
+}
+
+// ELinkReadTime books n bytes on the read direction of the off-chip link
+// starting at t and returns the completion time.
+func (f *Fabric) ELinkReadTime(t sim.Time, n int) sim.Time {
+	_, end := f.ELinkRead.Use(t, sim.Time(n)*noc.ELinkBytePeriod)
+	return end
+}
+
+// Desc is a DMA descriptor, mirroring e_dma_set_desc's fields: a 2D
+// transfer of OuterCount rows of InnerCount beats each. After every beat
+// the addresses advance by the inner strides; after every row they
+// advance by the outer strides instead. Addresses are global (local
+// aliases allowed on either side). A non-nil Chain continues with the
+// next descriptor when this one completes (E_DMA_CHAIN).
+type Desc struct {
+	Beat           int // 4 (word) or 8 (doubleword)
+	InnerCount     int // beats per row
+	OuterCount     int // rows (1 for a 1D transfer)
+	SrcInnerStride int // bytes added to src after each beat
+	DstInnerStride int
+	SrcOuterStride int // bytes added after each row, instead of the inner stride
+	DstOuterStride int
+	Src, Dst       mem.Addr
+	Chain          *Desc
+}
+
+// Desc1D builds a contiguous transfer of n bytes with the given beat.
+func Desc1D(src, dst mem.Addr, n, beat int) *Desc {
+	if n%beat != 0 {
+		panic(fmt.Sprintf("dma: %d bytes not a multiple of beat %d", n, beat))
+	}
+	return &Desc{
+		Beat: beat, InnerCount: n / beat, OuterCount: 1,
+		SrcInnerStride: beat, DstInnerStride: beat,
+		Src: src, Dst: dst,
+	}
+}
+
+// Bytes returns the payload size of the descriptor (without chains).
+func (d *Desc) Bytes() int { return d.Beat * d.InnerCount * d.OuterCount }
+
+// TotalBytes returns the payload of the descriptor and all its chains.
+func (d *Desc) TotalBytes() int {
+	n := 0
+	for ; d != nil; d = d.Chain {
+		n += d.Bytes()
+	}
+	return n
+}
+
+func (d *Desc) validate() {
+	if d.Beat != 4 && d.Beat != 8 {
+		panic(fmt.Sprintf("dma: beat %d not 4 or 8", d.Beat))
+	}
+	if d.InnerCount <= 0 || d.OuterCount <= 0 {
+		panic(fmt.Sprintf("dma: non-positive counts %dx%d", d.OuterCount, d.InnerCount))
+	}
+}
+
+// Chan identifies one of the two DMA channels (E_DMA_0, E_DMA_1).
+type Chan int
+
+// The two per-core channels.
+const (
+	DMA0 Chan = 0
+	DMA1 Chan = 1
+)
+
+// Engine is one core's DMA controller.
+type Engine struct {
+	fab  *Fabric
+	core int
+	ch   [2]*channel
+}
+
+type channel struct {
+	active bool
+	done   *sim.Cond
+	moved  uint64 // total bytes moved, stats
+}
+
+// NewEngine creates the DMA engine for the given core.
+func NewEngine(fab *Fabric, core int) *Engine {
+	e := &Engine{fab: fab, core: core}
+	for i := range e.ch {
+		e.ch[i] = &channel{done: sim.NewCond(fab.Eng, fmt.Sprintf("dma:core%d:ch%d", core, i))}
+	}
+	return e
+}
+
+// Busy reports whether the channel has an active transfer.
+func (e *Engine) Busy(c Chan) bool { return e.ch[c].active }
+
+// Moved returns the total bytes the channel has transferred.
+func (e *Engine) Moved(c Chan) uint64 { return e.ch[c].moved }
+
+// Start launches desc (and its chain) on channel c at the current engine
+// time. The caller is responsible for charging the CPU cost of
+// e_dma_set_desc/e_dma_start (noc.DMADescriptorBuildCost, DMAStartCost);
+// Start itself is the hardware side. Starting a busy channel panics, as
+// it is a programming error on the real device too.
+func (e *Engine) Start(c Chan, desc *Desc) {
+	ch := e.ch[c]
+	if ch.active {
+		panic(fmt.Sprintf("dma: core %d channel %d started while busy", e.core, c))
+	}
+	ch.active = true
+	e.run(ch, desc, e.fab.Eng.Now())
+}
+
+// run processes one descriptor starting at time t, then chains.
+func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
+	if d == nil {
+		e.fab.Eng.At(t, func() {
+			ch.active = false
+			ch.done.Broadcast()
+		})
+		return
+	}
+	d.validate()
+	n := d.Bytes()
+	pace := noc.DMASerialization(n, d.Beat)
+	src := e.fab.Map.Decode(e.core, d.Src)
+	dst := e.fab.Map.Decode(e.core, d.Dst)
+	if src.Kind == mem.KindInvalid || dst.Kind == mem.KindInvalid {
+		panic(fmt.Sprintf("dma: core %d transfer with unmapped address (src %#x dst %#x)", e.core, d.Src, d.Dst))
+	}
+
+	finish := func(done sim.Time) {
+		e.fab.Eng.At(done, func() {
+			e.copyDesc(d, src, dst)
+			ch.moved += uint64(n)
+			if dst.Kind != mem.KindDRAM && e.fab.Notify != nil {
+				e.fab.Notify(dst.Core)
+			}
+			e.run(ch, d.Chain, done)
+		})
+	}
+
+	switch {
+	case dst.Kind == mem.KindDRAM && src.Kind == mem.KindDRAM:
+		panic("dma: DRAM-to-DRAM transfers are not supported by the hardware")
+	case dst.Kind == mem.KindDRAM:
+		// Off-chip write: compete for the eLink, which is the bottleneck;
+		// DMA pacing overlaps with it.
+		e.fab.ELink.WriteFunc(e.core, n, func() {
+			end := e.fab.Eng.Now()
+			if min := t + pace; end < min {
+				end = min
+			}
+			finish(end)
+		})
+	case src.Kind == mem.KindDRAM:
+		// Off-chip read: the read direction of the link, then the mesh.
+		end := e.fab.ELinkReadTime(t, n)
+		arrive := e.fab.Mesh.Deliver(end, e.linkCorner(), dst.Core, n)
+		if min := t + pace; arrive < min {
+			arrive = min
+		}
+		finish(arrive)
+	default:
+		// On-chip: pace at the DMA rate, book the mesh path.
+		arrive := e.fab.Mesh.Deliver(t, src.Core, dst.Core, n)
+		if min := t + pace; arrive < min {
+			arrive = min
+		}
+		finish(arrive)
+	}
+}
+
+// linkCorner returns the core index adjacent to the off-chip link (row 0,
+// last column), where off-chip reads enter the mesh.
+func (e *Engine) linkCorner() int { return e.fab.Map.CoreIndex(0, e.fab.Map.Cols-1) }
+
+// Wait blocks p until channel c's transfer chain completes (e_dma_wait).
+func (e *Engine) Wait(p *sim.Proc, c Chan) {
+	ch := e.ch[c]
+	p.WaitFor(ch.done, func() bool { return !ch.active })
+}
+
+// read/write helpers for the functional copy.
+
+func (e *Engine) readBeat(t mem.Target, off mem.Addr, beat int) uint64 {
+	switch t.Kind {
+	case mem.KindDRAM:
+		if beat == 8 {
+			lo := uint64(e.fab.DRAM.Load32(off))
+			hi := uint64(e.fab.DRAM.Load32(off + 4))
+			return lo | hi<<32
+		}
+		return uint64(e.fab.DRAM.Load32(off))
+	default:
+		s := e.fab.SRAMs[t.Core]
+		if beat == 8 {
+			return s.Load64(off)
+		}
+		return uint64(s.Load32(off))
+	}
+}
+
+func (e *Engine) writeBeat(t mem.Target, off mem.Addr, beat int, v uint64) {
+	switch t.Kind {
+	case mem.KindDRAM:
+		e.fab.DRAM.Store32(off, uint32(v))
+		if beat == 8 {
+			e.fab.DRAM.Store32(off+4, uint32(v>>32))
+		}
+	default:
+		s := e.fab.SRAMs[t.Core]
+		if beat == 8 {
+			s.Store64(off, v)
+		} else {
+			s.Store32(off, uint32(v))
+		}
+	}
+}
+
+// copyDesc performs the functional data movement for one descriptor.
+func (e *Engine) copyDesc(d *Desc, src, dst mem.Target) {
+	so, do := src.Off, dst.Off
+	for row := 0; row < d.OuterCount; row++ {
+		rs, rd := so, do
+		for i := 0; i < d.InnerCount; i++ {
+			e.writeBeat(dst, rd, d.Beat, e.readBeat(src, rs, d.Beat))
+			if i < d.InnerCount-1 {
+				rs += mem.Addr(d.SrcInnerStride)
+				rd += mem.Addr(d.DstInnerStride)
+			}
+		}
+		so = rs + mem.Addr(d.SrcOuterStride)
+		do = rd + mem.Addr(d.DstOuterStride)
+	}
+}

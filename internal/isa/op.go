@@ -1,0 +1,177 @@
+// Package isa models the timing of eCore instruction schedules.
+//
+// The eCore is a dual-issue, in-order RISC: per clock cycle it can issue
+// one floating-point instruction and one integer/load-store instruction.
+// The paper's §VI and §VII performance engineering is entirely about
+// arranging instructions so that (a) every cycle issues an FMADD, (b) the
+// 5-cycle FMADD result latency is hidden by touching each accumulator at
+// most every 5 cycles, and (c) loads/stores ride along in the integer
+// lane's "spare slots".
+//
+// This package provides the instruction vocabulary, a cycle-accurate
+// issue model (Pipeline), and builders that emit the exact schedules the
+// paper describes: the 5x5-FMADD stencil macro pair and the 32-FMADD
+// matmul macro, plus "naive" variants that mimic what the immature e-gcc
+// compiler produced, reproducing the C-vs-assembly gap the paper reports.
+//
+// The package is timing-only: kernels do their arithmetic functionally in
+// Go and charge the simulated time this package computes.
+package isa
+
+import "fmt"
+
+// Reg names one of the eCore's 64 general registers, usable as float32,
+// int32 or pointer. r14 is the link register; the SP is conventionally
+// r13 in this model (the schedules below never touch either).
+type Reg uint8
+
+// NumRegs is the architectural register count.
+const NumRegs = 64
+
+// Kind classifies an instruction by issue lane and latency behaviour.
+type Kind uint8
+
+// Instruction kinds. FPU-lane kinds and IALU-lane kinds can dual-issue
+// with each other; two instructions of the same lane cannot.
+const (
+	// FMADD rd += ra*rb: the workhorse, 2 flops, result usable after
+	// FMADDLatency cycles.
+	FMADD Kind = iota
+	// FMUL rd = ra*rb: 1 flop, same latency as FMADD.
+	FMUL
+	// FADD rd = ra+rb: 1 flop, same latency as FMADD.
+	FADD
+	// IALU is a 1-cycle integer op (add, mov, clear) writing Dst.
+	IALU
+	// LOAD32/LOAD64 load 4/8 bytes from local memory; the destination
+	// (pair) is usable after LoadLatency cycles.
+	LOAD32
+	LOAD64
+	// STORE32/STORE64 store 4/8 bytes; they read their source register
+	// (pair), so a pending FMADD result stalls them (the paper's "cannot
+	// be used ... as the source of a store instruction for at least 5
+	// cycles" rule).
+	STORE32
+	STORE64
+	// BRANCH is a taken conditional branch closing a loop: 3 cycles.
+	BRANCH
+	// NOP occupies an issue slot in the IALU lane.
+	NOP
+)
+
+// Pipeline latency constants, from the paper's measurements (§VI).
+const (
+	// FMADDLatency: an FMADD result cannot feed the FPU or a store for 5
+	// cycles without stalling.
+	FMADDLatency = 5
+	// LoadLatency: cycles before a loaded value is usable.
+	LoadLatency = 2
+	// BranchPenalty: "branching costs 3 cycles".
+	BranchPenalty = 3
+)
+
+func (k Kind) String() string {
+	return [...]string{"fmadd", "fmul", "fadd", "ialu", "load32", "load64",
+		"store32", "store64", "branch", "nop"}[k]
+}
+
+// FPU reports whether the kind issues in the floating-point lane.
+func (k Kind) FPU() bool { return k <= FADD }
+
+// Flops returns the floating-point operations one instance performs.
+func (k Kind) Flops() uint64 {
+	switch k {
+	case FMADD:
+		return 2
+	case FMUL, FADD:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Op is one instruction. Registers listed in Src are read at issue; Dst
+// (when WritesDst) is written with the kind's latency. A 64-bit load or
+// store also touches Dst+1 / Src[0]+1; the model tracks the named
+// registers only, which is sufficient because the schedules keep pairs
+// together.
+type Op struct {
+	Kind Kind
+	Dst  Reg
+	Src  []Reg
+}
+
+// writesDst reports whether the kind produces a register result.
+func (o Op) writesDst() bool {
+	switch o.Kind {
+	case FMADD, FMUL, FADD, IALU, LOAD32, LOAD64:
+		return true
+	default:
+		return false
+	}
+}
+
+// latency returns cycles from issue until Dst is usable.
+func (o Op) latency() uint64 {
+	switch o.Kind {
+	case FMADD, FMUL, FADD:
+		return FMADDLatency
+	case LOAD32, LOAD64:
+		return LoadLatency
+	default:
+		return 1
+	}
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%s r%d %v", o.Kind, o.Dst, o.Src)
+}
+
+// Fmadd builds rd += ra*rb (rd is both read and written).
+func Fmadd(rd, ra, rb Reg) Op { return Op{Kind: FMADD, Dst: rd, Src: []Reg{ra, rb, rd}} }
+
+// Imov builds an integer-lane register move/clear.
+func Imov(rd Reg) Op { return Op{Kind: IALU, Dst: rd} }
+
+// Iadd builds an integer-lane op reading ra.
+func Iadd(rd, ra Reg) Op { return Op{Kind: IALU, Dst: rd, Src: []Reg{ra}} }
+
+// Load32 builds a 4-byte load into rd (address register untracked).
+func Load32(rd Reg) Op { return Op{Kind: LOAD32, Dst: rd} }
+
+// Load64 builds an 8-byte load into the pair rd,rd+1.
+func Load64(rd Reg) Op { return Op{Kind: LOAD64, Dst: rd} }
+
+// Store32 builds a 4-byte store reading rs.
+func Store32(rs Reg) Op { return Op{Kind: STORE32, Src: []Reg{rs}} }
+
+// Store64 builds an 8-byte store reading the pair rs,rs+1.
+func Store64(rs Reg) Op { return Op{Kind: STORE64, Src: []Reg{rs}} }
+
+// Branch builds the loop-closing branch.
+func Branch() Op { return Op{Kind: BRANCH} }
+
+// Flops sums the floating-point work in a schedule.
+func Flops(prog []Op) uint64 {
+	var n uint64
+	for _, o := range prog {
+		n += o.Kind.Flops()
+	}
+	return n
+}
+
+// CodeBytes estimates the instruction memory footprint of a schedule,
+// assuming 32-bit encodings for FPU/memory/branch instructions and an
+// even mix elsewhere (the real ISA has 16-bit compressed forms for common
+// integer ops). Used for the Layout code-size accounting.
+func CodeBytes(prog []Op) int {
+	n := 0
+	for _, o := range prog {
+		if o.Kind == IALU || o.Kind == NOP {
+			n += 2
+		} else {
+			n += 4
+		}
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package isa
+
+// Stencil schedule builder, following §VI of the paper exactly.
+//
+// Register plan (the paper's):
+//   - r2-r6:   the five stencil coefficients w1..w5, loaded once.
+//   - r8-r12:  accumulator set A (five grid points' partial sums).
+//   - r15-r19: accumulator set B (the double-buffered second set).
+//   - r20-r41: row buffer X (22 registers: a 20-wide stripe plus the two
+//     boundary values).
+//   - r42-r63: row buffer Y.
+//
+// One macro performs the 25 FMADDs for five consecutive grid points,
+// ordered point-major within each coefficient (T for all five points,
+// then L, C, R, B) so each accumulator is touched exactly every five
+// cycles - precisely hiding the 5-cycle FMADD latency. Fifteen
+// integer-lane instructions ride in the spare slots: saving the previous
+// macro's five results, clearing those accumulators for re-use, loading
+// the next row's grid data over the consumed Top values, and bumping
+// pointers. Two alternating macros (set A accumulating while set B
+// drains, then vice versa) make the steady state self-sustaining.
+
+// Stencil register assignments (exported for tests and documentation).
+var (
+	StencilCoefs = [5]Reg{2, 3, 4, 5, 6}
+	StencilAccA  = [5]Reg{8, 9, 10, 11, 12}
+	StencilAccB  = [5]Reg{15, 16, 17, 18, 19}
+)
+
+const (
+	stencilBufX Reg = 20 // r20-r41
+	stencilBufY Reg = 42 // r42-r63
+	// StencilStripeWidth is the row stripe length the paper settled on:
+	// 20 points, "a multiple of 5", chosen from the register budget.
+	StencilStripeWidth = 20
+)
+
+// stencilMacro emits the 25-FMADD/15-IALU macro for five grid points.
+//
+// acc accumulates this macro's five points; other is the previous macro's
+// set being stored and cleared. top is the base register holding the five
+// Top values (to be overwritten by Bottom-row loads), mid the base of the
+// seven middle-row values (Left/Centre/Right with overlap). nLoads is how
+// many 64-bit loads of next-row data to fold in (stripes need an average
+// of 2.5 per macro, so callers alternate 3 and 2).
+func stencilMacro(acc, other [5]Reg, top, mid Reg, nLoads int) []Op {
+	prog := make([]Op, 0, 40)
+	// Companion IALU ops for slots 5..19, in the order they pair with
+	// the FMADD stream.
+	var ialu []Op
+	for k := 0; k < 5; k++ {
+		ialu = append(ialu, Store32(other[k])) // slots 5-9: drain previous
+	}
+	for k := 0; k < 5; k++ {
+		ialu = append(ialu, Imov(other[k])) // slots 10-14: clear previous
+	}
+	for l := 0; l < nLoads; l++ { // slots 15+: fetch next row over Top
+		ialu = append(ialu, Load64(top+Reg(2*l)))
+	}
+	for len(ialu) < 15 { // remaining slots: pointer bumps
+		ialu = append(ialu, Iadd(0, 0))
+	}
+
+	emit := func(slot int, f Op) {
+		prog = append(prog, f)
+		if slot >= 5 && slot < 20 { // slots with IALU companions
+			prog = append(prog, ialu[slot-5])
+		}
+	}
+	w := StencilCoefs
+	slot := 0
+	// T pass reads top[k]; L/C/R passes read mid[k], mid[k+1], mid[k+2];
+	// B pass reads the values just loaded over top[k].
+	passes := []struct {
+		coef Reg
+		base Reg
+		off  int
+	}{
+		{w[0], top, 0}, {w[1], mid, 0}, {w[2], mid, 1}, {w[3], mid, 2}, {w[4], top, 0},
+	}
+	for _, pass := range passes {
+		for k := 0; k < 5; k++ {
+			emit(slot, Fmadd(acc[k], pass.coef, pass.base+Reg(pass.off+k)))
+			slot++
+		}
+	}
+	return prog
+}
+
+// StencilLoopBody emits the steady-state loop body: two rows of a
+// 20-point stripe = eight macros (four A/B pairs) = 200 FMADDs, closed by
+// the counter decrement and backward branch. Matches the paper's "one
+// unrolled loop of 40 x 5 = 200 FMADD instructions ... approximately 1300
+// bytes" with a "4 or 5 cycle loop penalty".
+func StencilLoopBody() []Op {
+	var prog []Op
+	loads := [8]int{3, 2, 3, 2, 3, 2, 3, 2} // average 2.5 per macro
+	for j := 0; j < 4; j++ {                // row 1: buffer X holds Top, Y holds middle
+		a, b := StencilAccA, StencilAccB
+		if j%2 == 1 {
+			a, b = b, a
+		}
+		prog = append(prog, stencilMacro(a, b, stencilBufX+Reg(5*j), stencilBufY+Reg(5*j), loads[j])...)
+	}
+	for j := 0; j < 4; j++ { // row 2: roles swapped
+		a, b := StencilAccA, StencilAccB
+		if j%2 == 1 {
+			a, b = b, a
+		}
+		prog = append(prog, stencilMacro(a, b, stencilBufY+Reg(5*j), stencilBufX+Reg(5*j), loads[4+j])...)
+	}
+	prog = append(prog, Iadd(7, 7)) // decrement row-pair counter (pairs with last FMADD)
+	prog = append(prog, Branch())
+	return prog
+}
+
+// StencilPrologue emits the stripe setup: pre-loading the two register
+// row buffers (22 doubleword loads), loading the five coefficients,
+// clearing both accumulator sets and setting up pointers.
+func StencilPrologue() []Op {
+	var prog []Op
+	for i := 0; i < 11; i++ {
+		prog = append(prog, Load64(stencilBufX+Reg(2*i)))
+	}
+	for i := 0; i < 11; i++ {
+		prog = append(prog, Load64(stencilBufY+Reg(2*i)))
+	}
+	for _, c := range StencilCoefs {
+		prog = append(prog, Load32(c))
+	}
+	for _, r := range StencilAccA {
+		prog = append(prog, Imov(r))
+	}
+	for _, r := range StencilAccB {
+		prog = append(prog, Imov(r))
+	}
+	for i := 0; i < 6; i++ {
+		prog = append(prog, Iadd(0, 0)) // pointer setup
+	}
+	return prog
+}
+
+// StencilNaiveBody emits what the immature C compiler produced for one
+// grid point (paper: "the relatively immature compiler was only able to
+// achieve a small fraction of peak"): neighbours are reloaded every
+// point, all five FMADDs feed a single accumulator (so each stalls on the
+// previous one's 5-cycle latency), and the result is stored immediately.
+func StencilNaiveBody() []Op {
+	const acc Reg = 8
+	w := StencilCoefs
+	return []Op{
+		Load32(20), Load32(21), Load32(22), // reload neighbours
+		Imov(acc),
+		Fmadd(acc, w[0], 20),
+		Fmadd(acc, w[1], 21),
+		Fmadd(acc, w[2], 22),
+		Fmadd(acc, w[3], 21),
+		Fmadd(acc, w[4], 20),
+		Store32(acc),
+		Iadd(0, 0), Iadd(1, 1), // pointer bumps
+	}
+}

@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SRAM is one core's 32 KB scratchpad. Accessors take local byte offsets.
+// All multi-byte accesses are little-endian, as on the real chip.
+type SRAM struct {
+	data [SRAMSize]byte
+}
+
+// NewSRAM returns a zeroed scratchpad.
+func NewSRAM() *SRAM { return &SRAM{} }
+
+func (s *SRAM) check(off Addr, n int) {
+	if int(off)+n > SRAMSize {
+		panic(fmt.Sprintf("mem: SRAM access [%#x,%#x) beyond 32 KB", off, int(off)+n))
+	}
+}
+
+// Bytes returns a slice aliasing n bytes of SRAM at off. The caller must
+// not grow it; writes through it are visible to subsequent reads.
+func (s *SRAM) Bytes(off Addr, n int) []byte {
+	s.check(off, n)
+	return s.data[off : int(off)+n]
+}
+
+// Load8 reads one byte.
+func (s *SRAM) Load8(off Addr) uint8 { s.check(off, 1); return s.data[off] }
+
+// Store8 writes one byte.
+func (s *SRAM) Store8(off Addr, v uint8) { s.check(off, 1); s.data[off] = v }
+
+// Load32 reads a 32-bit little-endian word.
+func (s *SRAM) Load32(off Addr) uint32 {
+	s.check(off, 4)
+	return binary.LittleEndian.Uint32(s.data[off:])
+}
+
+// Store32 writes a 32-bit little-endian word.
+func (s *SRAM) Store32(off Addr, v uint32) {
+	s.check(off, 4)
+	binary.LittleEndian.PutUint32(s.data[off:], v)
+}
+
+// Load64 reads a 64-bit little-endian doubleword.
+func (s *SRAM) Load64(off Addr) uint64 {
+	s.check(off, 8)
+	return binary.LittleEndian.Uint64(s.data[off:])
+}
+
+// Store64 writes a 64-bit little-endian doubleword.
+func (s *SRAM) Store64(off Addr, v uint64) {
+	s.check(off, 8)
+	binary.LittleEndian.PutUint64(s.data[off:], v)
+}
+
+// LoadF32 reads a single-precision float.
+func (s *SRAM) LoadF32(off Addr) float32 { return math.Float32frombits(s.Load32(off)) }
+
+// StoreF32 writes a single-precision float.
+func (s *SRAM) StoreF32(off Addr, v float32) { s.Store32(off, math.Float32bits(v)) }
+
+// Copy copies n bytes within or between scratchpads (dst and src may be
+// the same SRAM; overlapping ranges copy as Go's copy does).
+func Copy(dst *SRAM, dstOff Addr, src *SRAM, srcOff Addr, n int) {
+	copy(dst.Bytes(dstOff, n), src.Bytes(srcOff, n))
+}
+
+// DRAM is the shared off-chip memory window.
+type DRAM struct {
+	data []byte
+}
+
+// NewDRAM allocates the 32 MB shared window.
+func NewDRAM() *DRAM { return &DRAM{data: make([]byte, DRAMSize)} }
+
+func (d *DRAM) check(off Addr, n int) {
+	if int(off)+n > len(d.data) {
+		panic(fmt.Sprintf("mem: DRAM access [%#x,%#x) beyond %d MB window",
+			off, int(off)+n, len(d.data)>>20))
+	}
+}
+
+// Bytes returns a slice aliasing n bytes of DRAM at off.
+func (d *DRAM) Bytes(off Addr, n int) []byte {
+	d.check(off, n)
+	return d.data[off : int(off)+n]
+}
+
+// Load32 reads a 32-bit little-endian word.
+func (d *DRAM) Load32(off Addr) uint32 {
+	d.check(off, 4)
+	return binary.LittleEndian.Uint32(d.data[off:])
+}
+
+// Store32 writes a 32-bit little-endian word.
+func (d *DRAM) Store32(off Addr, v uint32) {
+	d.check(off, 4)
+	binary.LittleEndian.PutUint32(d.data[off:], v)
+}
+
+// LoadF32 reads a single-precision float.
+func (d *DRAM) LoadF32(off Addr) float32 { return math.Float32frombits(d.Load32(off)) }
+
+// StoreF32 writes a single-precision float.
+func (d *DRAM) StoreF32(off Addr, v float32) { d.Store32(off, math.Float32bits(v)) }
+
+// Size returns the window size in bytes.
+func (d *DRAM) Size() int { return len(d.data) }

@@ -1,0 +1,218 @@
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"epiphany/internal/sim"
+)
+
+// ELink models the single 8-bit, 600 MHz off-chip link through which all
+// eCore traffic to shared DRAM flows. Two properties from the paper's §V-B
+// matter and are reproduced here:
+//
+//  1. Effective write throughput saturates at 150 MB/s (a quarter of the
+//     600 MB/s raw link rate) regardless of how many cores write.
+//  2. Arbitration is grossly unfair: cores near the link's exit corner
+//     (row 0, column cols-1) monopolize it, and distant cores starve
+//     ("with sufficient contention, many (all) eCores in rows 5-7 simply
+//     miss out on write slots").
+//
+// The unfairness is an undocumented artifact of the silicon's merge
+// arbitration; we reproduce the *observed distribution* with a weighted
+// fair queueing (WFQ) server whose per-core weights decay with distance
+// from the exit corner. Column cols-1 cores inject directly into the
+// off-chip column channel and share it round-robin (equal weights for the
+// upper half of the column), matching Table III's four equal winners;
+// everyone else pays an exponential penalty per row/column of distance,
+// which yields Table III's ~0.02 middle tier, its 1-10-iteration fringe,
+// and its 24 hard-starved cores. See EXPERIMENTS.md for the calibration
+// discussion, including the respect in which the paper's own Tables II
+// and III disagree with each other.
+type ELink struct {
+	eng    *sim.Engine
+	rows   int
+	cols   int
+	weight []float64
+	// WFQ state.
+	pending  reqHeap
+	lastTag  []float64 // per-core last finish tag
+	virtual  float64   // virtual time of the server
+	busy     bool
+	served   []uint64 // completed requests per core
+	svcBytes []uint64 // bytes served per core
+	total    uint64
+}
+
+type elinkReq struct {
+	core  int
+	bytes int
+	start float64 // virtual start tag
+	tag   float64 // virtual finish tag
+	seq   uint64
+	done  *sim.Cond
+	fn    func() // optional completion callback (runs before done broadcast)
+}
+
+type reqHeap []*elinkReq
+
+func (h reqHeap) Len() int { return len(h) }
+
+// Less orders by virtual finish tag (WFQ). Finish-tag ordering is what
+// produces Table III's hard starvation: a heavily penalized flow's very
+// first request already carries a finish tag beyond the virtual horizon
+// the experiment window reaches, so it is never granted a slot at all -
+// matching the 24 cores the paper observed with zero iterations.
+func (h reqHeap) Less(i, j int) bool {
+	if h[i].tag != h[j].tag {
+		return h[i].tag < h[j].tag
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reqHeap) Push(x interface{}) { *h = append(*h, x.(*elinkReq)) }
+func (h *reqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return r
+}
+
+// NewELink creates the off-chip link server for a rows x cols chip.
+func NewELink(eng *sim.Engine, rows, cols int) *ELink {
+	n := rows * cols
+	e := &ELink{
+		eng:      eng,
+		rows:     rows,
+		cols:     cols,
+		weight:   make([]float64, n),
+		lastTag:  make([]float64, n),
+		served:   make([]uint64, n),
+		svcBytes: make([]uint64, n),
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			e.weight[r*cols+c] = elinkWeight(rows, cols, r, c)
+		}
+	}
+	return e
+}
+
+// elinkWeight is the calibrated arbitration weight of core (r,c).
+func elinkWeight(rows, cols, r, c int) float64 {
+	if c == cols-1 {
+		// Direct injectors on the off-chip column: the upper half of the
+		// column shares the channel nearly fairly; the lower half only
+		// gets leftover slots.
+		if r < rows/2 {
+			return 1.0
+		}
+		return 0.09
+	}
+	// Everyone else must win a row merge and then the column merge; the
+	// success rate decays exponentially with hops of each kind (rows
+	// hurt more than columns, per the paper's observation that row
+	// position dominates).
+	colDist := float64(cols - 2 - c)
+	return 0.10 * math.Pow(2, -(colDist+1.2*float64(r)))
+}
+
+// Weight exposes the arbitration weight for core, for tests and docs.
+func (e *ELink) Weight(core int) float64 { return e.weight[core] }
+
+// SetUniformWeights replaces the calibrated arbitration with an ideal
+// fair arbiter - the counterfactual used by the fairness ablation to show
+// what Table III would have looked like on a chip without the erratic
+// merge arbitration.
+func (e *ELink) SetUniformWeights() {
+	for i := range e.weight {
+		e.weight[i] = 1
+	}
+}
+
+// Write blocks p until the eLink has carried n bytes on behalf of core.
+// Concurrent writers are served WFQ-fashion at the 150 MB/s effective rate.
+func (e *ELink) Write(p *sim.Proc, core, n int) {
+	req := e.submit(core, n)
+	p.WaitCond(req.done)
+}
+
+// WriteAsync books the transfer and returns a Cond broadcast at completion,
+// letting DMA engines overlap. The returned Cond is single-use.
+func (e *ELink) WriteAsync(core, n int) *sim.Cond {
+	return e.submit(core, n).done
+}
+
+// WriteFunc books the transfer and runs fn inline in the engine when it
+// completes (before any waiters on the completion Cond are woken).
+func (e *ELink) WriteFunc(core, n int, fn func()) {
+	e.submit(core, n).fn = fn
+}
+
+func (e *ELink) submit(core, n int) *elinkReq {
+	w := e.weight[core]
+	// Start-time fair queueing: a flow's next request starts at its own
+	// previous finish tag, except that a flow that was idle while the
+	// system advanced rejoins at the server's virtual time rather than
+	// accumulating unbounded catch-up credit.
+	start := math.Max(e.lastTag[core], e.virtual)
+	req := &elinkReq{
+		core:  core,
+		bytes: n,
+		start: start,
+		tag:   start + float64(n)/w,
+		seq:   e.total,
+		done:  sim.NewCond(e.eng, fmt.Sprintf("elink:core%d", core)),
+	}
+	e.total++
+	e.lastTag[core] = req.tag
+	heap.Push(&e.pending, req)
+	if !e.busy {
+		e.serveNext()
+	}
+	return req
+}
+
+func (e *ELink) serveNext() {
+	if e.pending.Len() == 0 {
+		e.busy = false
+		return
+	}
+	e.busy = true
+	req := heap.Pop(&e.pending).(*elinkReq)
+	e.virtual = req.start
+	dur := sim.Time(req.bytes) * ELinkBytePeriod
+	e.eng.After(dur, func() {
+		e.served[req.core]++
+		e.svcBytes[req.core] += uint64(req.bytes)
+		if req.fn != nil {
+			req.fn()
+		}
+		req.done.Broadcast()
+		e.serveNext()
+	})
+}
+
+// Served returns how many write requests completed for core.
+func (e *ELink) Served(core int) uint64 { return e.served[core] }
+
+// ServedBytes returns how many bytes were written by core.
+func (e *ELink) ServedBytes(core int) uint64 { return e.svcBytes[core] }
+
+// Utilization returns core's share of the bytes carried so far, which is
+// directly comparable to the paper's Table II/III "Utilization" column
+// (their denominator is the saturated link's capacity; ours is total
+// carried bytes, identical under saturation).
+func (e *ELink) Utilization(core int) float64 {
+	var sum uint64
+	for _, b := range e.svcBytes {
+		sum += b
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(e.svcBytes[core]) / float64(sum)
+}

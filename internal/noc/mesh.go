@@ -1,0 +1,184 @@
+package noc
+
+import (
+	"fmt"
+
+	"epiphany/internal/mem"
+	"epiphany/internal/sim"
+)
+
+// Dir is a mesh link direction.
+type Dir uint8
+
+// Link directions out of a router.
+const (
+	East Dir = iota
+	West
+	North
+	South
+)
+
+func (d Dir) String() string {
+	return [...]string{"east", "west", "north", "south"}[d]
+}
+
+// Mesh is the on-chip eMesh: a rows x cols grid of routers with separate
+// physical links per direction. The Epiphany has three mesh networks
+// (on-chip write, off-chip write, read request); we model the on-chip
+// write network with per-link contention, the read network analytically
+// (the paper's codes avoid remote reads), and the off-chip write network
+// via the ELink arbiter.
+type Mesh struct {
+	eng        *sim.Engine
+	amap       *mem.Map
+	rows, cols int
+	// h[r][c] is the link between router (r,c) and (r,c+1); h[r][c][0]
+	// carries eastbound traffic, [1] westbound. Similarly v for vertical.
+	h [][][2]*sim.Resource
+	v [][][2]*sim.Resource
+	// errata0 enables the E64G401 Errata #0 model: "Duplicate IO
+	// Transaction" makes instruction fetches and data reads from cores in
+	// (chip-relative) row 2 and column 2 issue twice, halving their read
+	// throughput. DMA and writes are unaffected, per the datasheet.
+	errata0 bool
+	// stats
+	writes uint64
+	bytes  uint64
+}
+
+// NewMesh builds the eMesh for the given address map.
+func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
+	m := &Mesh{eng: eng, amap: amap, rows: amap.Rows, cols: amap.Cols}
+	m.h = make([][][2]*sim.Resource, m.rows)
+	for r := 0; r < m.rows; r++ {
+		m.h[r] = make([][2]*sim.Resource, m.cols-1)
+		for c := 0; c < m.cols-1; c++ {
+			m.h[r][c][0] = sim.NewResource(fmt.Sprintf("link(%d,%d)e", r, c))
+			m.h[r][c][1] = sim.NewResource(fmt.Sprintf("link(%d,%d)w", r, c))
+		}
+	}
+	m.v = make([][][2]*sim.Resource, m.rows-1)
+	for r := 0; r < m.rows-1; r++ {
+		m.v[r] = make([][2]*sim.Resource, m.cols)
+		for c := 0; c < m.cols; c++ {
+			m.v[r][c][0] = sim.NewResource(fmt.Sprintf("link(%d,%d)s", r, c))
+			m.v[r][c][1] = sim.NewResource(fmt.Sprintf("link(%d,%d)n", r, c))
+		}
+	}
+	return m
+}
+
+// Rows returns the mesh height.
+func (m *Mesh) Rows() int { return m.rows }
+
+// Cols returns the mesh width.
+func (m *Mesh) Cols() int { return m.cols }
+
+// Map returns the address map the mesh serves.
+func (m *Mesh) Map() *mem.Map { return m.amap }
+
+// Distance returns the Manhattan distance (= XY hop count) between cores.
+func (m *Mesh) Distance(src, dst int) int {
+	sr, sc := m.amap.CoreCoords(src)
+	dr, dc := m.amap.CoreCoords(dst)
+	return abs(sr-dr) + abs(sc-dc)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// path invokes fn for every directed link on the X-then-Y route from src
+// to dst, in traversal order.
+func (m *Mesh) path(src, dst int, fn func(*sim.Resource)) {
+	sr, sc := m.amap.CoreCoords(src)
+	dr, dc := m.amap.CoreCoords(dst)
+	for c := sc; c < dc; c++ {
+		fn(m.h[sr][c][0])
+	}
+	for c := sc; c > dc; c-- {
+		fn(m.h[sr][c-1][1])
+	}
+	for r := sr; r < dr; r++ {
+		fn(m.v[r][dc][0])
+	}
+	for r := sr; r > dr; r-- {
+		fn(m.v[r-1][dc][1])
+	}
+}
+
+// Deliver books an n-byte write transfer from src to dst onto the on-chip
+// write network, requested at time t, and returns the time the last byte
+// arrives at dst. It models wormhole cut-through: the head pays HopLatency
+// per hop (plus queueing wherever a link is already busy) and every link
+// on the path is occupied for the message's serialization time.
+//
+// Deliver does not charge the sender's CPU or DMA pacing; callers add
+// their own issue costs (DirectWriteWordPeriod, DMASerialization, ...) and
+// pass the max of the two serialization models as arrival when needed.
+func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
+	m.writes++
+	m.bytes += uint64(n)
+	if src == dst || n == 0 {
+		return t
+	}
+	ser := LinkSerialization(n)
+	cur := t
+	m.path(src, dst, func(link *sim.Resource) {
+		begin, _ := link.Use(cur, ser)
+		cur = begin + HopLatency
+	})
+	return cur + ser
+}
+
+// SetErrata0 toggles the Errata #0 duplicate-read model (off by default;
+// the paper's benchmarks avoid the affected paths, as do ours).
+func (m *Mesh) SetErrata0(on bool) { m.errata0 = on }
+
+// Errata0 reports whether the duplicate-read erratum is being modelled.
+func (m *Mesh) Errata0() bool { return m.errata0 }
+
+// errata0Hits reports whether a read issued by core src duplicates under
+// Errata #0 (the issuing core sits in row 2 or column 2).
+func (m *Mesh) errata0Hits(src int) bool {
+	if !m.errata0 {
+		return false
+	}
+	r, c := m.amap.CoreCoords(src)
+	return r == 2 || c == 2
+}
+
+// ReadWord models a single remote 32-bit load from src's CPU to dst's
+// memory: a full request/response round trip on the read network.
+func (m *Mesh) ReadWord(t sim.Time, src, dst int) (done sim.Time) {
+	hops := sim.Time(m.Distance(src, dst))
+	cost := ReadWordRoundTrip + 2*hops*HopLatency
+	if m.errata0Hits(src) {
+		cost *= 2 // the transaction issues twice
+	}
+	return t + cost
+}
+
+// Writes returns the number of Deliver calls.
+func (m *Mesh) Writes() uint64 { return m.writes }
+
+// Bytes returns the total bytes delivered.
+func (m *Mesh) Bytes() uint64 { return m.bytes }
+
+// LinkUtilization returns the utilization of the eastbound link out of
+// router (r,c) at time now, for diagnostics.
+func (m *Mesh) LinkUtilization(r, c int, d Dir, now sim.Time) float64 {
+	switch d {
+	case East:
+		return m.h[r][c][0].Utilization(now)
+	case West:
+		return m.h[r][c-1][1].Utilization(now)
+	case South:
+		return m.v[r][c][0].Utilization(now)
+	default:
+		return m.v[r-1][c][1].Utilization(now)
+	}
+}

@@ -1,0 +1,36 @@
+// Package power holds the energy-efficiency accounting used in the
+// paper's §VIII comparison (Table VII) and its GFLOPS/Watt claims.
+package power
+
+// ChipWatts is the Epiphany-IV chip power the paper assumes ("assuming 2
+// watts power usage"; the authors note the actual draw was not yet
+// measured).
+const ChipWatts = 2.0
+
+// PeakGFLOPS is the chip's single-precision peak: 64 cores x 2
+// flops/cycle x 600 MHz.
+const PeakGFLOPS = 76.8
+
+// GFLOPSPerWatt converts an achieved GFLOPS figure to efficiency under
+// the nominal chip power.
+func GFLOPSPerWatt(gflops float64) float64 { return gflops / ChipWatts }
+
+// System is one row of the paper's Table VII.
+type System struct {
+	Name      string
+	ChipWatts float64
+	Cores     int
+	MaxGFLOPS float64
+	ClockGHz  float64
+}
+
+// PeakEfficiency returns the system's peak GFLOPS/Watt.
+func (s System) PeakEfficiency() float64 { return s.MaxGFLOPS / s.ChipWatts }
+
+// Comparison reproduces Table VII's systems.
+var Comparison = []System{
+	{Name: "TI C6678 Multicore DSP", ChipWatts: 10, Cores: 8, MaxGFLOPS: 160, ClockGHz: 1.5},
+	{Name: "Tilera 64-core chip", ChipWatts: 35, Cores: 64, MaxGFLOPS: 192, ClockGHz: 0.9},
+	{Name: "Intel 80-core Terascale", ChipWatts: 97, Cores: 80, MaxGFLOPS: 1366.4, ClockGHz: 4.27},
+	{Name: "Epiphany 64-core coprocessor", ChipWatts: ChipWatts, Cores: 64, MaxGFLOPS: PeakGFLOPS, ClockGHz: 0.6},
+}

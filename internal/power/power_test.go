@@ -1,0 +1,45 @@
+package power
+
+import "testing"
+
+func TestEpiphanyHeadlineEfficiency(t *testing.T) {
+	// The paper's headline: ~32 GFLOPS/W at the measured ~64 GFLOPS,
+	// 38.4 GFLOPS/W at peak.
+	if got := GFLOPSPerWatt(64); got != 32 {
+		t.Fatalf("64 GFLOPS -> %v GFLOPS/W, want 32", got)
+	}
+	if got := GFLOPSPerWatt(PeakGFLOPS); got != 38.4 {
+		t.Fatalf("peak -> %v GFLOPS/W, want 38.4", got)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	if len(Comparison) != 4 {
+		t.Fatalf("Table VII has %d systems, want 4", len(Comparison))
+	}
+	var epiphany, intel System
+	for _, s := range Comparison {
+		switch s.Name {
+		case "Epiphany 64-core coprocessor":
+			epiphany = s
+		case "Intel 80-core Terascale":
+			intel = s
+		}
+	}
+	if epiphany.Cores != 64 || epiphany.MaxGFLOPS != 76.8 {
+		t.Fatalf("Epiphany row wrong: %+v", epiphany)
+	}
+	// The paper's comparison point: Epiphany's efficiency advantage over
+	// the Terascale chip is roughly 3x at peak (and ~3x measured).
+	ratio := epiphany.PeakEfficiency() / intel.PeakEfficiency()
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("Epiphany/Terascale efficiency ratio %.2f, want ~2.7", ratio)
+	}
+	// Epiphany must lead every system in the table on GFLOPS/W.
+	for _, s := range Comparison {
+		if s.Name != epiphany.Name && s.PeakEfficiency() >= epiphany.PeakEfficiency() {
+			t.Fatalf("%s (%.1f GFLOPS/W) should not beat Epiphany (%.1f)",
+				s.Name, s.PeakEfficiency(), epiphany.PeakEfficiency())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sdk
+
+import (
+	"math"
+
+	"epiphany/internal/ecore"
+	"epiphany/internal/mem"
+)
+
+// Reducer is a workgroup-wide sum all-reduce built from the same
+// primitives as Barrier: posted remote stores and flag polling. The
+// reduction follows the mesh: each row chains partial sums westward to
+// column 0, column 0 chains them northward to the group root, and the
+// root broadcasts the total back. Each member creates its own Reducer
+// (like e_barrier_init) and calls Sum collectively.
+type Reducer struct {
+	w      *Workgroup
+	gr, gc int
+	seq    uint32
+}
+
+// Word offsets of the reducer's slots inside the reserved SDK region.
+const (
+	reduceBase mem.Addr = SDKBase + 0x110
+	rValE               = 0 // partial arriving from the east neighbour
+	rSeqE               = 1
+	rValS               = 2 // partial arriving from the south neighbour
+	rSeqS               = 3
+	rBVal               = 4 // broadcast total
+	rBSeq               = 5
+)
+
+// NewReducer creates the calling core's handle.
+func NewReducer(w *Workgroup, gr, gc int) *Reducer {
+	return &Reducer{w: w, gr: gr, gc: gc}
+}
+
+func (r *Reducer) slot(i int) mem.Addr { return reduceBase + mem.Addr(4*i) }
+
+func (r *Reducer) postTo(c *ecore.Core, gr, gc, slot int, v uint32) {
+	c.StoreGlobal32(c.GlobalOn(r.w.OriginRow+gr, r.w.OriginCol+gc, r.slot(slot)), v)
+}
+
+// Sum contributes v and returns the sum over all group members. Every
+// member must call Sum the same number of times; the value is summed
+// east-to-west within rows, then south-to-north up column 0 (a fixed,
+// deterministic association order).
+func (r *Reducer) Sum(c *ecore.Core, v float32) float32 {
+	r.seq++
+	w := r.w
+	// Row phase: absorb the partial from the east, pass west.
+	if r.gc < w.Cols-1 {
+		c.WaitLocal32GE(r.slot(rSeqE), r.seq)
+		v += math.Float32frombits(c.Local().Load32(r.slot(rValE)))
+	}
+	if r.gc > 0 {
+		r.postTo(c, r.gr, r.gc-1, rValE, math.Float32bits(v))
+		r.postTo(c, r.gr, r.gc-1, rSeqE, r.seq)
+	} else {
+		// Column phase on column 0.
+		if r.gr < w.Rows-1 {
+			c.WaitLocal32GE(r.slot(rSeqS), r.seq)
+			v += math.Float32frombits(c.Local().Load32(r.slot(rValS)))
+		}
+		if r.gr > 0 {
+			r.postTo(c, r.gr-1, 0, rValS, math.Float32bits(v))
+			r.postTo(c, r.gr-1, 0, rSeqS, r.seq)
+		} else {
+			// Root: broadcast the total.
+			for gr := 0; gr < w.Rows; gr++ {
+				for gc := 0; gc < w.Cols; gc++ {
+					if gr == 0 && gc == 0 {
+						continue
+					}
+					r.postTo(c, gr, gc, rBVal, math.Float32bits(v))
+					r.postTo(c, gr, gc, rBSeq, r.seq)
+				}
+			}
+			return v
+		}
+	}
+	c.WaitLocal32GE(r.slot(rBSeq), r.seq)
+	return math.Float32frombits(c.Local().Load32(r.slot(rBVal)))
+}

@@ -1,0 +1,83 @@
+package sdk
+
+import (
+	"testing"
+
+	"epiphany/internal/ecore"
+	"epiphany/internal/sim"
+)
+
+func TestAllReduceSumOfRanks(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {1, 4}, {2, 2}, {4, 2}, {8, 8}} {
+		eng, ch := newChip()
+		w := MustWorkgroup(ch, 0, 0, shape[0], shape[1])
+		n := w.Size()
+		got := make([]float32, n)
+		w.Launch("reduce", func(c *ecore.Core, gr, gc int) {
+			r := NewReducer(w, gr, gc)
+			got[w.Rank(gr, gc)] = r.Sum(c, float32(w.Rank(gr, gc)+1))
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		want := float32(n * (n + 1) / 2)
+		for rank, v := range got {
+			if v != want {
+				t.Fatalf("%v: rank %d got %v, want %v", shape, rank, v, want)
+			}
+		}
+	}
+}
+
+func TestAllReduceRepeated(t *testing.T) {
+	eng, ch := newChip()
+	w := MustWorkgroup(ch, 0, 0, 2, 4)
+	const rounds = 6
+	sums := make([][]float32, w.Size())
+	w.Launch("reduce", func(c *ecore.Core, gr, gc int) {
+		r := NewReducer(w, gr, gc)
+		rank := w.Rank(gr, gc)
+		for k := 0; k < rounds; k++ {
+			// Skewed timing between rounds.
+			c.Idle(sim.Cycles(uint64(rank*13 + k*7)))
+			sums[rank] = append(sums[rank], r.Sum(c, float32(rank*10+k)))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rounds; k++ {
+		var want float32
+		for rank := 0; rank < w.Size(); rank++ {
+			want += float32(rank*10 + k)
+		}
+		for rank := 0; rank < w.Size(); rank++ {
+			if sums[rank][k] != want {
+				t.Fatalf("round %d rank %d: %v != %v", k, rank, sums[rank][k], want)
+			}
+		}
+	}
+}
+
+func TestAllReduceAlongsideBarrier(t *testing.T) {
+	// The reducer and barrier share the SDK region but distinct slots.
+	eng, ch := newChip()
+	w := MustWorkgroup(ch, 0, 0, 2, 2)
+	total := make([]float32, w.Size())
+	w.Launch("mix", func(c *ecore.Core, gr, gc int) {
+		b := NewBarrier(w, gr, gc)
+		r := NewReducer(w, gr, gc)
+		b.Wait(c)
+		s := r.Sum(c, 1)
+		b.Wait(c)
+		total[w.Rank(gr, gc)] = s
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rank, v := range total {
+		if v != 4 {
+			t.Fatalf("rank %d: %v", rank, v)
+		}
+	}
+}

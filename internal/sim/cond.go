@@ -1,0 +1,57 @@
+package sim
+
+// Cond is a broadcast-only condition variable for Procs. A Proc calls
+// WaitCond (or Proc-side helpers built on it) to park until another Proc
+// or an engine callback calls Broadcast. Waits are level-triggered only in
+// the sense that the waiter should re-check its predicate after waking, as
+// with sync.Cond.
+type Cond struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a condition attached to eng. The name appears in
+// deadlock diagnostics.
+func NewCond(eng *Engine, name string) *Cond {
+	return &Cond{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name.
+func (c *Cond) Name() string { return c.name }
+
+// WaitCond parks the Proc until c is broadcast. The Proc resumes at the
+// virtual time of the broadcast (plus any delay the broadcaster added).
+func (p *Proc) WaitCond(c *Cond) {
+	c.waiters = append(c.waiters, p)
+	p.block(c.name)
+}
+
+// Broadcast wakes every waiter at the current virtual time.
+func (c *Cond) Broadcast() { c.BroadcastAfter(0) }
+
+// BroadcastAfter wakes every waiter d after the current virtual time,
+// modelling a propagation delay between the signalling event and the
+// observer noticing it.
+func (c *Cond) BroadcastAfter(d Time) {
+	t := c.eng.now + d
+	for _, p := range c.waiters {
+		p.unblock(t)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Waiters reports how many Procs are currently parked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// WaitFor repeatedly waits on c until pred() is true. It returns the
+// number of wake-ups that were needed. pred is evaluated once before any
+// waiting, so no wake-up happens if it already holds.
+func (p *Proc) WaitFor(c *Cond, pred func() bool) int {
+	n := 0
+	for !pred() {
+		p.WaitCond(c)
+		n++
+	}
+	return n
+}

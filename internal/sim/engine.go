@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// eventKind discriminates heap entries.
+type eventKind uint8
+
+const (
+	evResume eventKind = iota // wake a blocked Proc
+	evStart                   // start a freshly spawned Proc
+	evCall                    // run a callback inline in the engine
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	t    Time
+	seq  uint64 // FIFO tie-break for determinism
+	kind eventKind
+	proc *Proc
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic sequential discrete-event simulator.
+//
+// Procs run as goroutines but the engine guarantees that at most one of
+// them executes at a time, and always in virtual-time order with FIFO
+// tie-breaking, so simulations are fully reproducible. The zero value is
+// not usable; create engines with NewEngine.
+type Engine struct {
+	heap    eventHeap
+	now     Time
+	seq     uint64
+	yield   chan struct{} // a proc (or its demise) hands control back here
+	procs   []*Proc
+	blocked int // procs waiting on a Cond (not in the heap)
+	err     error
+	stopped bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time. During Run it is the timestamp of
+// the event being processed.
+func (e *Engine) Now() Time { return e.now }
+
+func (e *Engine) schedule(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, ev)
+}
+
+// At schedules fn to run inline in the engine at absolute time t (or at the
+// current time if t is in the past). Useful for timers and completions.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.schedule(&event{t: t, kind: evCall, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn creates a process named name running fn and schedules it to start
+// at the current virtual time. It may be called before Run or from inside
+// a running Proc or callback.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit absolute start time.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		t = e.now
+	}
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan Time),
+		fn:     fn,
+		state:  stateNew,
+	}
+	e.procs = append(e.procs, p)
+	e.schedule(&event{t: t, kind: evStart, proc: p})
+	return p
+}
+
+// Run processes events until the event queue drains. It returns an error
+// if a Proc panicked or if runnable work remains blocked forever
+// (deadlock: procs waiting on conditions nobody will signal).
+func (e *Engine) Run() error {
+	return e.RunUntil(^Time(0))
+}
+
+// RunUntil is Run but stops (without error) once virtual time would
+// exceed limit. Events at exactly limit are still processed.
+func (e *Engine) RunUntil(limit Time) error {
+	for e.err == nil {
+		if len(e.heap) == 0 {
+			if e.blocked > 0 && !e.stopped {
+				return e.deadlockError()
+			}
+			return e.err
+		}
+		if e.heap[0].t > limit {
+			return e.err
+		}
+		ev := heap.Pop(&e.heap).(*event)
+		e.now = ev.t
+		switch ev.kind {
+		case evCall:
+			ev.fn()
+		case evStart:
+			ev.proc.start()
+			<-e.yield
+		case evResume:
+			p := ev.proc
+			if p.state == stateDone {
+				break // stale wake-up after proc ended
+			}
+			p.state = stateRunning
+			p.now = ev.t
+			p.resume <- ev.t
+			<-e.yield
+		}
+	}
+	return e.err
+}
+
+// Stop makes Run return after the current event completes. Procs blocked
+// on conditions do not count as a deadlock after Stop.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	var names []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			names = append(names, fmt.Sprintf("%s@%v", p.name, p.blockedOn))
+		}
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v",
+		e.now, e.blocked, names)
+}

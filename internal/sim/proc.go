@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+type procState uint8
+
+const (
+	stateNew procState = iota
+	stateRunning
+	stateWaiting // in the event heap with a scheduled resume
+	stateBlocked // waiting on a Cond, not in the heap
+	stateDone
+)
+
+// Proc is a simulated process. Its function runs on a dedicated goroutine,
+// but the engine ensures only one Proc executes at a time, so Procs may
+// freely touch shared simulation state without synchronization.
+type Proc struct {
+	eng       *Engine
+	id        int
+	name      string
+	now       Time
+	resume    chan Time
+	fn        func(*Proc)
+	state     procState
+	blockedOn string // description of the Cond being waited on (diagnostics)
+	done      *Cond  // lazily created completion condition
+}
+
+// Engine returns the engine this Proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the Proc's unique spawn index.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the Proc's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// start launches the Proc's goroutine. Engine-side only.
+func (p *Proc) start() {
+	p.state = stateRunning
+	p.now = p.eng.now
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.eng.fail(fmt.Errorf("sim: proc %q panicked at t=%v: %v\n%s",
+					p.name, p.now, r, debug.Stack()))
+			}
+			p.state = stateDone
+			if p.done != nil {
+				p.done.Broadcast()
+			}
+			p.eng.yield <- struct{}{}
+		}()
+		p.fn(p)
+	}()
+}
+
+// Wait advances the Proc's clock by d, letting other events at earlier
+// times run first. Wait(0) yields the processor while keeping time fixed
+// (events already queued at the same time run before the Proc resumes).
+func (p *Proc) Wait(d Time) { p.WaitUntil(p.now + d) }
+
+// WaitCycles advances the Proc's clock by n core clock cycles.
+func (p *Proc) WaitCycles(n uint64) { p.Wait(Cycles(n)) }
+
+// WaitUntil advances the Proc's clock to absolute time t (no-op if t is
+// not in the future, other than yielding).
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.now {
+		t = p.now
+	}
+	p.state = stateWaiting
+	p.eng.schedule(&event{t: t, kind: evResume, proc: p})
+	p.eng.yield <- struct{}{}
+	p.now = <-p.resume
+}
+
+// Block parks the Proc with no scheduled wake-up; something must later call
+// unblock (via Cond signalling). desc appears in deadlock reports.
+func (p *Proc) block(desc string) {
+	p.state = stateBlocked
+	p.blockedOn = desc
+	p.eng.blocked++
+	p.eng.yield <- struct{}{}
+	p.now = <-p.resume
+}
+
+// unblock schedules the Proc to resume at time t. Engine/Cond-side only.
+func (p *Proc) unblock(t Time) {
+	if p.state != stateBlocked {
+		return
+	}
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.state = stateWaiting
+	p.blockedOn = ""
+	p.eng.blocked--
+	p.eng.schedule(&event{t: t, kind: evResume, proc: p})
+}
+
+// Done returns a Cond broadcast when the Proc's function returns. Other
+// Procs can WaitCond on it to join.
+func (p *Proc) Done() *Cond {
+	if p.done == nil {
+		p.done = NewCond(p.eng, "done:"+p.name)
+	}
+	return p.done
+}
+
+// Finished reports whether the Proc's function has returned.
+func (p *Proc) Finished() bool { return p.state == stateDone }
+
+// Join blocks p until other has finished.
+func (p *Proc) Join(other *Proc) {
+	for !other.Finished() {
+		p.WaitCond(other.Done())
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+// Rand is a tiny deterministic PRNG (xorshift64*) used wherever the
+// simulator needs pseudo-random choice (e.g. workload generators). It is
+// seeded explicitly so simulations replay bit-identically; math/rand is
+// avoided to keep the dependency surface and the reproducibility story
+// entirely within the package.
+type Rand struct{ s uint64 }
+
+// NewRand returns a generator seeded with seed (0 is remapped).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Float32 returns a pseudo-random float32 in [0, 1).
+func (r *Rand) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}

@@ -1,0 +1,61 @@
+package sim
+
+// Resource models a serially occupied facility such as a mesh link, a DMA
+// channel, or the eLink: at most one transfer uses it at a time and later
+// requests queue behind earlier ones in virtual time.
+//
+// It is a bandwidth-accounting model, not a flit-level one: a transfer of
+// duration d requested at time t begins at max(t, freeAt) and the resource
+// is then busy until begin+d. This captures serialization and queueing
+// delay, which is what the paper's bandwidth/contention experiments
+// exercise, at a tiny fraction of the cost of per-flit simulation.
+type Resource struct {
+	name   string
+	freeAt Time
+	busy   Time // cumulative busy time, for utilization stats
+	uses   uint64
+}
+
+// NewResource creates a named resource that is free at time zero.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Use books an occupancy of duration d requested at time t and returns the
+// interval [begin, end) during which the resource is held. The caller is
+// responsible for advancing its own clock to end (or to begin+latency) as
+// appropriate.
+func (r *Resource) Use(t, d Time) (begin, end Time) {
+	begin = t
+	if r.freeAt > begin {
+		begin = r.freeAt
+	}
+	end = begin + d
+	r.freeAt = end
+	r.busy += d
+	r.uses++
+	return begin, end
+}
+
+// FreeAt returns the earliest time a new request could begin service.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the cumulative time the resource has been occupied.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Uses returns the number of Use calls.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// Utilization returns busy time divided by the window [0, now].
+func (r *Resource) Utilization(now Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(r.busy) / float64(now)
+}
+
+// Reset makes the resource free immediately and clears statistics.
+func (r *Resource) Reset() { r.freeAt, r.busy, r.uses = 0, 0, 0 }

@@ -1,0 +1,159 @@
+// Package trace summarizes what a simulation did: per-core activity
+// breakdowns (compute vs DMA waits vs flag spins), floating-point work,
+// DMA traffic, eLink shares, and mesh link utilization - rendered as
+// text heatmaps for quick "where did the time go" analysis of kernels
+// running on the simulated chip.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"epiphany/internal/dma"
+	"epiphany/internal/ecore"
+	"epiphany/internal/noc"
+	"epiphany/internal/sim"
+)
+
+// CoreStats is one core's activity summary.
+type CoreStats struct {
+	Row, Col  int
+	Flops     uint64
+	Compute   sim.Time
+	DMAWait   sim.Time
+	FlagWait  sim.Time
+	DMABytes  uint64
+	ELinkByte uint64
+}
+
+// Snapshot is a chip-wide activity summary at a point in virtual time.
+type Snapshot struct {
+	Now   sim.Time
+	Rows  int
+	Cols  int
+	Cores []CoreStats
+	// MeshBytes is the total on-chip write-network traffic.
+	MeshBytes uint64
+	// ELinkBytes is the total off-chip write traffic.
+	ELinkBytes uint64
+}
+
+// Take captures a snapshot of the chip's counters.
+func Take(ch *ecore.Chip) *Snapshot {
+	m := ch.Map()
+	s := &Snapshot{
+		Now:       ch.Engine().Now(),
+		Rows:      m.Rows,
+		Cols:      m.Cols,
+		MeshBytes: ch.Fabric().Mesh.Bytes(),
+	}
+	for i := 0; i < ch.NumCores(); i++ {
+		c := ch.Core(i)
+		r, col := m.CoreCoords(i)
+		compute, dmaWait, flagWait := c.Activity()
+		cs := CoreStats{
+			Row: r, Col: col,
+			Flops:     c.Flops(),
+			Compute:   compute,
+			DMAWait:   dmaWait,
+			FlagWait:  flagWait,
+			DMABytes:  c.DMAMoved(dma.DMA0) + c.DMAMoved(dma.DMA1),
+			ELinkByte: ch.Fabric().ELink.ServedBytes(i),
+		}
+		s.ELinkBytes += cs.ELinkByte
+		s.Cores = append(s.Cores, cs)
+	}
+	return s
+}
+
+// TotalFlops sums floating-point work across cores.
+func (s *Snapshot) TotalFlops() uint64 {
+	var n uint64
+	for _, c := range s.Cores {
+		n += c.Flops
+	}
+	return n
+}
+
+// GFLOPS returns achieved chip GFLOPS over the snapshot window.
+func (s *Snapshot) GFLOPS() float64 {
+	if s.Now == 0 {
+		return 0
+	}
+	return float64(s.TotalFlops()) / s.Now.Nanoseconds()
+}
+
+// heat renders an 8x8-style heatmap of per-core values scaled to 0-9.
+func (s *Snapshot) heat(title string, value func(CoreStats) float64) string {
+	var b strings.Builder
+	maxV := 0.0
+	for _, c := range s.Cores {
+		if v := value(c); v > maxV {
+			maxV = v
+		}
+	}
+	fmt.Fprintf(&b, "%s (max %.4g):\n", title, maxV)
+	grid := make([][]byte, s.Rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", s.Cols))
+	}
+	for _, c := range s.Cores {
+		v := value(c)
+		if maxV > 0 && v > 0 {
+			d := int(v / maxV * 9)
+			if d > 9 {
+				d = 9
+			}
+			grid[c.Row][c.Col] = byte('0' + d)
+		}
+	}
+	for _, row := range grid {
+		b.WriteString("  ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the snapshot: totals plus heatmaps of compute share,
+// communication wait share and eLink bytes.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace @ %v: %.2f GFLOPS achieved, %d B on-mesh, %d B off-chip\n",
+		s.Now, s.GFLOPS(), s.MeshBytes, s.ELinkBytes)
+	b.WriteString(s.heat("compute time", func(c CoreStats) float64 { return float64(c.Compute) }))
+	b.WriteString(s.heat("dma wait", func(c CoreStats) float64 { return float64(c.DMAWait) }))
+	b.WriteString(s.heat("flag wait", func(c CoreStats) float64 { return float64(c.FlagWait) }))
+	b.WriteString(s.heat("eLink bytes", func(c CoreStats) float64 { return float64(c.ELinkByte) }))
+	return b.String()
+}
+
+// Utilization summarizes one core's busy fraction of the window.
+func (c CoreStats) Utilization(now sim.Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(c.Compute+c.DMAWait+c.FlagWait) / float64(now)
+}
+
+// LinkHeat renders the eastbound mesh link utilization out of each
+// router, a view onto congestion hot spots.
+func LinkHeat(ch *ecore.Chip) string {
+	m := ch.Map()
+	now := ch.Engine().Now()
+	var b strings.Builder
+	b.WriteString("eastbound link utilization:\n")
+	for r := 0; r < m.Rows; r++ {
+		b.WriteString("  ")
+		for c := 0; c < m.Cols-1; c++ {
+			u := ch.Fabric().Mesh.LinkUtilization(r, c, noc.East, now)
+			d := int(u * 9.999)
+			if d > 9 {
+				d = 9
+			}
+			fmt.Fprintf(&b, "%d", d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"epiphany/internal/dma"
+	"epiphany/internal/ecore"
+	"epiphany/internal/mem"
+	"epiphany/internal/sim"
+)
+
+func TestSnapshotCountersAndRendering(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := ecore.NewChip(eng, 8, 8)
+	// Core 0 computes; core 1 DMAs to core 2 and waits; core 3 spins on a
+	// flag that core 0 eventually sets.
+	ch.Launch(0, "c0", func(c *ecore.Core) {
+		c.Compute(1000, 2000)
+		c.StoreGlobal32(c.GlobalOn(0, 3, 0x700), 1)
+	})
+	ch.Launch(1, "c1", func(c *ecore.Core) {
+		d := c.DMASetDesc(dma.Desc1D(0, c.GlobalOn(0, 2, 0), 4096, 8))
+		c.DMAStart(dma.DMA0, d)
+		c.DMAWait(dma.DMA0)
+	})
+	ch.Launch(3, "c3", func(c *ecore.Core) {
+		c.WaitLocal32GE(0x700, 1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := Take(ch)
+	if s.TotalFlops() != 2000 {
+		t.Fatalf("flops = %d", s.TotalFlops())
+	}
+	if s.Cores[0].Compute != sim.Cycles(1000) {
+		t.Fatalf("core 0 compute = %v", s.Cores[0].Compute)
+	}
+	if s.Cores[1].DMAWait == 0 {
+		t.Fatal("core 1 should have DMA wait time")
+	}
+	if s.Cores[1].DMABytes != 4096 {
+		t.Fatalf("core 1 moved %d bytes", s.Cores[1].DMABytes)
+	}
+	if s.Cores[3].FlagWait == 0 {
+		t.Fatal("core 3 should have flag wait time")
+	}
+	if s.GFLOPS() <= 0 {
+		t.Fatal("achieved GFLOPS should be positive")
+	}
+	out := s.String()
+	for _, want := range []string{"compute time", "dma wait", "flag wait", "eLink bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering misses %q", want)
+		}
+	}
+	if u := s.Cores[0].Utilization(s.Now); u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestLinkHeat(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := ecore.NewChip(eng, 8, 8)
+	ch.Launch(0, "sender", func(c *ecore.Core) {
+		d := c.DMASetDesc(dma.Desc1D(0, c.GlobalOn(0, 1, 0x4000), 4096, 8))
+		for i := 0; i < 50; i++ {
+			c.DMAStart(dma.DMA0, d)
+			c.DMAWait(dma.DMA0)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := LinkHeat(ch)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Fatalf("heatmap has %d lines", len(lines))
+	}
+	// The used link (row 0, col 0 east) must be hotter than an idle one.
+	if lines[1][2] == '0' {
+		t.Fatalf("used link shows zero utilization: %q", lines[1])
+	}
+	if lines[8] != "  0000000" {
+		t.Fatalf("idle row should be all zeros: %q", lines[8])
+	}
+	_ = mem.Addr(0)
+}
