@@ -1,39 +1,56 @@
 // Command epiphany-bench regenerates the paper's evaluation tables and
-// figures on the simulated Epiphany system.
+// figures on the simulated Epiphany system, and batch-runs registered
+// workloads concurrently through the Runner.
 //
 // Usage:
 //
-//	epiphany-bench -all            # every experiment
-//	epiphany-bench -run fig6       # one experiment
-//	epiphany-bench -list           # list experiment names
+//	epiphany-bench -all                 # every paper experiment
+//	epiphany-bench -run fig6            # one experiment
+//	epiphany-bench -list                # list experiments and workloads
 //	epiphany-bench -run table6 -large   # include the 1536x1536 row
+//	epiphany-bench -workloads all -j 8  # batch-run the workload registry
+//	epiphany-bench -workloads stencil-tuned,matmul-cannon
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"epiphany"
 	"epiphany/internal/bench"
 )
 
 func main() {
 	all := flag.Bool("all", false, "run every paper experiment")
 	run := flag.String("run", "", "run one experiment by name")
-	list := flag.Bool("list", false, "list experiment names")
+	list := flag.Bool("list", false, "list experiment and registered workload names")
 	large := flag.Bool("large", false, "include long-running rows (Table VI 1536x1536)")
 	extras := flag.Bool("extras", false, "also run the extension and ablation studies")
+	workloads := flag.String("workloads", "", `batch-run registered workloads: "all" or a comma-separated name list`)
+	jobs := flag.Int("j", 0, "concurrent workers for -workloads (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	switch {
 	case *list:
+		fmt.Println("experiments:")
 		for _, e := range bench.Experiments {
-			fmt.Println(e.Name)
+			fmt.Printf("  %s\n", e.Name)
 		}
 		for _, e := range bench.Extras {
-			fmt.Printf("%s (extra)\n", e.Name)
+			fmt.Printf("  %s (extra)\n", e.Name)
 		}
+		// The workload names come from the registry, so workloads
+		// registered by linked-in packages are enumerated too.
+		fmt.Println("workloads:")
+		for _, w := range epiphany.Workloads() {
+			fmt.Printf("  %s\n", w.Name())
+		}
+	case *workloads != "":
+		runWorkloads(*workloads, *jobs)
 	case *run != "":
 		e, ok := bench.ByName(*run)
 		if !ok {
@@ -60,6 +77,53 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runWorkloads resolves the selection against the registry and executes
+// it as one concurrent batch, each job on its own fresh System.
+func runWorkloads(sel string, workers int) {
+	var ws []epiphany.Workload
+	if sel == "all" {
+		ws = epiphany.Workloads()
+	} else {
+		for _, name := range strings.Split(sel, ",") {
+			name = strings.TrimSpace(name)
+			w, ok := epiphany.WorkloadByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
+				os.Exit(1)
+			}
+			ws = append(ws, w)
+		}
+	}
+	runner := &epiphany.Runner{Workers: workers}
+	start := time.Now()
+	batch, err := runner.RunWorkloads(context.Background(), ws...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-22s %-14s %10s %8s %11s %11s\n",
+		"workload", "simulated", "GFLOPS", "% peak", "% compute", "% transfer")
+	for _, jr := range batch.Results {
+		if jr.Err != nil {
+			fmt.Printf("%-22s FAILED: %v\n", jr.Name, jr.Err)
+			continue
+		}
+		m := jr.Result.Metrics()
+		split := []string{"-", "-"}
+		if m.ComputeTime+m.TransferTime > 0 {
+			split[0] = fmt.Sprintf("%.1f", m.PctCompute())
+			split[1] = fmt.Sprintf("%.1f", m.PctTransfer())
+		}
+		fmt.Printf("%-22s %-14v %10.2f %8.1f %11s %11s\n",
+			jr.Name, m.Elapsed, m.GFLOPS, m.PctPeak, split[0], split[1])
+	}
+	fmt.Printf("[%d workloads in %v wall clock]\n", len(batch.Results), time.Since(start).Round(time.Millisecond))
+	if err := batch.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -11,12 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"epiphany"
-	"epiphany/internal/trace"
 )
 
 func main() {
@@ -37,15 +37,16 @@ func main() {
 		OffChip: *off, Tuned: !*naive, Verify: *verify,
 		Algorithm: *algo, Seed: *seed,
 	}
-	sys := epiphany.NewSystem()
-	res, err := sys.RunMatmul(cfg)
+	var opts []epiphany.Option
+	if *showTrace {
+		opts = append(opts, epiphany.WithTrace(os.Stdout))
+	}
+	r, err := epiphany.Run(context.Background(), &epiphany.MatmulWorkload{Config: cfg}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *showTrace {
-		fmt.Print(trace.Take(sys.Chip()))
-	}
+	res := r.(*epiphany.MatmulResult)
 	fmt.Printf("C(%dx%d) = A(%dx%d) x B(%dx%d) on %dx%d cores (offchip=%v, tuned=%v)\n",
 		*m, *k, *m, *n, *n, *k, *g, *g, *off, !*naive)
 	fmt.Printf("simulated time: %v\n", res.Elapsed)

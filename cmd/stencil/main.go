@@ -7,12 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"epiphany"
-	"epiphany/internal/trace"
 )
 
 func main() {
@@ -37,16 +37,16 @@ func main() {
 		GroupRows: gr, GroupCols: gc,
 		Comm: *comm, Tuned: !*naive, Seed: *seed,
 	}
-	sys := epiphany.NewSystem()
-	res, err := sys.RunStencil(cfg)
+	var opts []epiphany.Option
+	if *showTrace {
+		opts = append(opts, epiphany.WithTrace(os.Stdout))
+	}
+	r, err := epiphany.Run(context.Background(), &epiphany.StencilWorkload{Config: cfg}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *showTrace {
-		fmt.Print(trace.Take(sys.Chip()))
-		fmt.Print(trace.LinkHeat(sys.Chip()))
-	}
+	res := r.(*epiphany.StencilResult)
 	fmt.Printf("grid %dx%d per core on %dx%d cores, %d iterations (comm=%v, tuned=%v)\n",
 		*rows, *cols, gr, gc, *iters, *comm, !*naive)
 	fmt.Printf("simulated time: %v\n", res.Elapsed)

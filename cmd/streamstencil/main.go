@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,11 +43,12 @@ func main() {
 		GroupRows: wr, GroupCols: wc,
 		Seed: *seed,
 	}
-	res, err := epiphany.NewSystem().RunStreamStencil(cfg)
+	r, err := epiphany.Run(context.Background(), &epiphany.StreamStencilWorkload{Config: cfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	res := r.(*epiphany.StreamStencilResult)
 	fmt.Printf("grid %dx%d, %d iterations in chunks of %d, blocks %dx%d on %dx%d cores\n",
 		gr, gc, *iters, *tblock, br, bc, wr, wc)
 	fmt.Printf("simulated time : %v\n", res.Elapsed)

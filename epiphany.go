@@ -4,38 +4,47 @@
 // Network-on-chip Coprocessor" (Varghese, Edwards, Mitra, Rendell; IPDPS
 // Workshops 2014, arXiv:1410.8772).
 //
-// The package offers three levels of use:
+// The package offers four levels of use:
 //
-//   - Application level: RunStencil and RunMatmul execute the paper's two
-//     application kernels (a hand-scheduled 5-point heat stencil and a
-//     three-level Cannon matrix multiplication) end to end, including the
-//     ARM-host orchestration, and report performance the way the paper
-//     does (GFLOPS, % of peak, compute/transfer split).
+//   - Workload level: experiments implement the Workload interface
+//     (Name, Validate, Run) and report the common Metrics (GFLOPS, % of
+//     peak, compute/transfer split). The paper's three applications -
+//     the hand-scheduled 5-point heat stencil, the three-level Cannon
+//     matrix multiplication, and the temporally blocked streaming
+//     stencil - ship as StencilWorkload, MatmulWorkload and
+//     StreamStencilWorkload, with ready-made presets in the registry
+//     (Register, Workloads, WorkloadByName). Run executes one workload;
+//     Runner.RunBatch executes many concurrently, each on its own fresh
+//     System.
 //
 //   - Kernel level: Chip, Workgroup and Core expose an Epiphany-SDK-like
 //     programming surface (direct remote stores, DMA descriptors with
 //     chaining and 2D strides, event timers, barriers, hardware mutex)
 //     for writing new device kernels against the simulated chip.
 //
+//   - Application level (deprecated): System.RunStencil, System.RunMatmul
+//     and System.RunStreamStencil are thin shims over the workload level,
+//     kept so existing callers compile.
+//
 //   - Experiment level: the Experiments list regenerates every table and
 //     figure from the paper's evaluation.
 //
 // Every simulation is bit-deterministic: the same program and seed
-// produce identical virtual timings and memory contents on every run.
+// produce identical virtual timings and memory contents on every run,
+// sequentially or across a concurrent batch.
 package epiphany
 
 import (
-	"fmt"
-
 	"epiphany/internal/bench"
 	"epiphany/internal/core"
 	"epiphany/internal/ecore"
 	"epiphany/internal/host"
 	"epiphany/internal/sdk"
 	"epiphany/internal/sim"
+	"epiphany/internal/system"
 )
 
-// Re-exported configuration and result types for the application level.
+// Re-exported configuration and result types for the built-in workloads.
 type (
 	// StencilConfig configures a heat-stencil run (paper §VI).
 	StencilConfig = core.StencilConfig
@@ -68,73 +77,17 @@ type (
 var DefaultCoefs = core.DefaultCoefs
 
 // System is one simulated board: engine, chip and host. A System runs a
-// single experiment; build a fresh one per run so that virtual time,
-// memories and statistics start clean.
-type System struct {
-	eng  *sim.Engine
-	chip *ecore.Chip
-	host *host.Host
-	used bool
-}
+// single experiment; build a fresh one per run - or let Runner.RunBatch
+// hand every workload its own. Custom Workload implementations call
+// System.Acquire before driving the board so stale systems are refused.
+type System = system.System
 
 // NewSystem builds the standard 8x8 Epiphany-IV system.
-func NewSystem() *System { return NewSystemSize(8, 8) }
+func NewSystem() *System { return system.New() }
 
 // NewSystemSize builds a rows x cols device (for studying smaller or
 // hypothetical larger meshes; the paper's device is 8x8).
-func NewSystemSize(rows, cols int) *System {
-	eng := sim.NewEngine()
-	chip := ecore.NewChip(eng, rows, cols)
-	return &System{eng: eng, chip: chip, host: host.New(chip)}
-}
-
-// Chip returns the device for kernel-level programming.
-func (s *System) Chip() *Chip { return s.chip }
-
-// Host returns the ARM host model.
-func (s *System) Host() *Host { return s.host }
-
-// Engine returns the simulation engine (for advanced scheduling).
-func (s *System) Engine() *sim.Engine { return s.eng }
-
-// NewWorkgroup creates a workgroup on this system's chip.
-func (s *System) NewWorkgroup(originRow, originCol, rows, cols int) (*Workgroup, error) {
-	return sdk.NewWorkgroup(s.chip, originRow, originCol, rows, cols)
-}
-
-func (s *System) takeRun() error {
-	if s.used {
-		return fmt.Errorf("epiphany: a System runs one experiment; create a fresh one with NewSystem")
-	}
-	s.used = true
-	return nil
-}
-
-// RunStencil executes a full host-orchestrated stencil experiment.
-func (s *System) RunStencil(cfg StencilConfig) (*StencilResult, error) {
-	if err := s.takeRun(); err != nil {
-		return nil, err
-	}
-	return core.RunStencil(s.host, cfg)
-}
-
-// RunMatmul executes a full host-orchestrated matrix multiplication.
-func (s *System) RunMatmul(cfg MatmulConfig) (*MatmulResult, error) {
-	if err := s.takeRun(); err != nil {
-		return nil, err
-	}
-	return core.RunMatmul(s.host, cfg)
-}
-
-// RunStreamStencil executes the §IX streaming stencil with temporal
-// blocking: the grid lives in shared DRAM and blocks page through the
-// chip, with TBlock iterations applied per residency.
-func (s *System) RunStreamStencil(cfg StreamStencilConfig) (*StreamStencilResult, error) {
-	if err := s.takeRun(); err != nil {
-		return nil, err
-	}
-	return core.RunStreamStencil(s.host, cfg)
-}
+func NewSystemSize(rows, cols int) *System { return system.NewSize(rows, cols) }
 
 // StreamStencilReference computes the expected streamed-stencil output
 // (plain global Jacobi iteration, which the kernel reproduces exactly).

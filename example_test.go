@@ -1,10 +1,52 @@
 package epiphany_test
 
 import (
+	"context"
 	"fmt"
 
 	"epiphany"
 )
+
+// ExampleRun executes the paper's §VI heat stencil through the workload
+// API on a fresh system and verifies it against the host reference.
+func ExampleRun() {
+	w := &epiphany.StencilWorkload{Config: epiphany.StencilConfig{
+		Rows: 20, Cols: 20, Iters: 10,
+		GroupRows: 2, GroupCols: 2,
+		Comm: true, Tuned: true, Seed: 1,
+	}}
+	res, err := epiphany.Run(context.Background(), w)
+	if err != nil {
+		panic(err)
+	}
+	m := res.Metrics()
+	fmt.Printf("simulated time: %v\n", m.Elapsed)
+	fmt.Printf("positive throughput: %v\n", m.GFLOPS > 0)
+	// Output:
+	// simulated time: 45.1467us
+	// positive throughput: true
+}
+
+// ExampleRunner_RunBatch runs one registered workload twice concurrently,
+// each on its own fresh board; determinism makes the runs byte-identical.
+func ExampleRunner_RunBatch() {
+	w, ok := epiphany.WorkloadByName("matmul-cannon")
+	if !ok {
+		panic("matmul-cannon not registered")
+	}
+	runner := &epiphany.Runner{Workers: 2}
+	batch, err := runner.RunWorkloads(context.Background(), w, w)
+	if err != nil {
+		panic(err)
+	}
+	if err := batch.Err(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("runs agree: %v\n",
+		batch.Results[0].Result.Metrics() == batch.Results[1].Result.Metrics())
+	// Output:
+	// runs agree: true
+}
 
 // ExampleSystem_RunStencil runs the paper's §VI heat stencil on a 2x2
 // workgroup and verifies it against the host reference.

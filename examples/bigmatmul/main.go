@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,10 +22,11 @@ func main() {
 		OffChip: true, Tuned: true, Verify: true, Seed: 3,
 	}
 	fmt.Println("multiplying 512x512 matrices through shared DRAM (this simulates ~30ms of device time)...")
-	res, err := epiphany.NewSystem().RunMatmul(cfg)
+	r, err := epiphany.Run(context.Background(), &epiphany.MatmulWorkload{Label: "bigmatmul", Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.(*epiphany.MatmulResult)
 	fmt.Printf("simulated time        : %v\n", res.Elapsed)
 	fmt.Printf("performance           : %.2f GFLOPS (%.1f%% of 76.8 peak)\n", res.GFLOPS, res.PctPeak)
 	fmt.Printf("core time in compute  : %.1f%%\n", res.PctCompute())

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,10 +47,11 @@ func main() {
 	fmt.Println("initial field (hot strip clamped on the top boundary):")
 	render(field, 0)
 
-	res, err := epiphany.NewSystem().RunStencil(cfg)
+	r, err := epiphany.Run(context.Background(), &epiphany.StencilWorkload{Label: "heat", Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.(*epiphany.StencilResult)
 
 	fmt.Printf("\nafter %d iterations (%v simulated, %.1f GFLOPS, %.1f%% of peak):\n",
 		iters, res.Elapsed, res.GFLOPS, res.PctPeak)

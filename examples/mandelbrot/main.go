@@ -1,14 +1,17 @@
-// Mandelbrot: programming the simulated chip outside the paper's two
-// kernels. Each eCore renders one tile of the Mandelbrot set - single
+// Mandelbrot: plugging a custom workload into the epiphany workload
+// API. Each eCore renders one tile of the Mandelbrot set - single
 // precision multiply/add only, which suits a core with no divide or
 // double-precision hardware - charging the modelled cycle cost of its
-// escape-time loop. The host assembles the image, and the per-core
+// escape-time loop. The workload implements epiphany.Workload, is
+// registered alongside the paper's built-ins, and is looked up and
+// executed through the registry exactly like they are. The per-core
 // activity trace makes the work imbalance across tiles visible.
 //
 //	go run ./examples/mandelbrot
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +27,39 @@ const (
 	outOff        = mem.Addr(0x4000) // per-core tile buffer
 )
 
-func main() {
-	sys := epiphany.NewSystem()
+// mandelbrot renders the set across an 8x8 workgroup. It implements
+// epiphany.Workload, so it registers, validates, runs and batches like
+// the built-in paper kernels.
+type mandelbrot struct{}
+
+func (mandelbrot) Name() string { return "mandelbrot" }
+
+func (mandelbrot) Validate() error {
+	if width%8 != 0 || height%8 != 0 {
+		return fmt.Errorf("mandelbrot: %dx%d image not tileable over 8x8 cores", width, height)
+	}
+	return nil
+}
+
+// mandelResult carries the rendered image alongside the common metrics.
+type mandelResult struct {
+	metrics epiphany.Metrics
+	img     []byte
+	snap    *trace.Snapshot
+}
+
+func (r *mandelResult) Metrics() epiphany.Metrics { return r.metrics }
+
+func (mandelbrot) Run(ctx context.Context, sys *epiphany.System) (epiphany.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
 	w, err := sys.NewWorkgroup(0, 0, 8, 8)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	tw, th := width/8, height/8
 
@@ -59,9 +90,8 @@ func main() {
 		c.Compute(cycles, flops)
 	})
 
-	h := sys.Host()
 	img := make([]byte, width*height)
-	h.Spawn("gather", func(hp *epiphany.HostProc) {
+	sys.Host().Spawn("gather", func(hp *epiphany.HostProc) {
 		hp.Join(procs) // step 5 of §III: the host waits, then collects
 		for gr := 0; gr < 8; gr++ {
 			for gc := 0; gc < 8; gc++ {
@@ -73,24 +103,47 @@ func main() {
 		}
 	})
 	if err := sys.Engine().Run(); err != nil {
+		return nil, err
+	}
+	snap := trace.Take(sys.Chip())
+	return &mandelResult{
+		metrics: epiphany.Metrics{
+			Elapsed: snap.Now,
+			GFLOPS:  snap.GFLOPS(),
+		},
+		img:  img,
+		snap: snap,
+	}, nil
+}
+
+func main() {
+	epiphany.Register(mandelbrot{})
+
+	w, ok := epiphany.WorkloadByName("mandelbrot")
+	if !ok {
+		log.Fatal("mandelbrot not registered")
+	}
+	r, err := epiphany.Run(context.Background(), w)
+	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.(*mandelResult)
 
 	shades := []byte(" .:-=+*#%@")
 	for py := 0; py < height; py += 2 { // halve vertically for terminal aspect
 		line := make([]byte, width)
 		for px := 0; px < width; px++ {
-			v := int(img[py*width+px])
+			v := int(res.img[py*width+px])
 			line[px] = shades[v*(len(shades)-1)/255]
 		}
 		fmt.Println(string(line))
 	}
 
-	snap := trace.Take(sys.Chip())
+	m := res.Metrics()
 	fmt.Printf("\n%.2f simulated ms, %.2f GFLOPS achieved\n",
-		snap.Now.Seconds()*1e3, snap.GFLOPS())
+		m.Elapsed.Seconds()*1e3, m.GFLOPS)
 	fmt.Println("per-core compute load (the set's interior is expensive):")
-	fmt.Print(extractHeat(snap))
+	fmt.Print(extractHeat(res.snap))
 }
 
 // extractHeat pulls just the compute heatmap from the snapshot rendering.

@@ -1,14 +1,17 @@
-// Pingpong: kernel-level programming against the simulated chip. Two
-// hand-written device kernels bounce a message between core (0,0) and a
-// far core using direct remote stores and flag polling - the same
-// primitives as the paper's Listing 1 - and the host tabulates observed
-// round-trip latency against Manhattan distance. It also demonstrates
+// Pingpong: kernel-level programming against the simulated chip,
+// packaged as a custom workload. Two hand-written device kernels bounce
+// a message between core (0,0) and a far core using direct remote
+// stores and flag polling - the same primitives as the paper's Listing
+// 1 - and the host tabulates observed round-trip latency against
+// Manhattan distance. The four distance measurements run as one
+// concurrent batch, each on its own fresh board. It also demonstrates
 // the SDK barrier and hardware mutex.
 //
 //	go run ./examples/pingpong
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,22 +28,37 @@ const (
 	words            = 20 // 80-byte messages, as in Table I
 )
 
-func main() {
-	fmt.Println("80-byte ping-pong round trips (direct remote writes + flag polling):")
-	fmt.Printf("%-8s %-9s %s\n", "target", "distance", "round trip")
-	for _, tgt := range [][2]int{{0, 1}, {1, 1}, {3, 3}, {7, 7}} {
-		rt := pingPong(tgt[0], tgt[1])
-		fmt.Printf("(%d,%d)    %-9d %v\n", tgt[0], tgt[1], tgt[0]+tgt[1], rt)
+// pingpong measures the round trip between core (0,0) and core
+// (tr,tc). It implements epiphany.Workload, so the four distances batch
+// through the Runner like any built-in workload.
+type pingpong struct{ tr, tc int }
+
+func (p pingpong) Name() string { return fmt.Sprintf("pingpong-%d,%d", p.tr, p.tc) }
+
+func (p pingpong) Validate() error {
+	if p.tr < 0 || p.tr > 7 || p.tc < 0 || p.tc > 7 || (p.tr == 0 && p.tc == 0) {
+		return fmt.Errorf("pingpong: target (%d,%d) not a non-origin core of the 8x8 mesh", p.tr, p.tc)
 	}
-	mutexDemo()
+	return nil
 }
 
-func pingPong(tr, tc int) epiphany.Time {
-	sys := epiphany.NewSystem()
+// rtResult reports the measured round trip through the common Metrics
+// (Elapsed carries the per-trip latency).
+type rtResult struct{ m epiphany.Metrics }
+
+func (r rtResult) Metrics() epiphany.Metrics { return r.m }
+
+func (p pingpong) Run(ctx context.Context, sys *epiphany.System) (epiphany.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
 	chip := sys.Chip()
 	var rt epiphany.Time
 
-	chip.Launch(chip.Map().CoreIndex(tr, tc), "echo", func(c *ecore.Core) {
+	chip.Launch(chip.Map().CoreIndex(p.tr, p.tc), "echo", func(c *ecore.Core) {
 		for i := 1; i <= loops; i++ {
 			c.WaitLocal32GE(flagOff, uint32(i))
 			c.CopyWordsTo(c.GlobalOn(0, 0, dataOff), dataOff, words)
@@ -50,16 +68,39 @@ func pingPong(tr, tc int) epiphany.Time {
 	chip.Launch(0, "origin", func(c *ecore.Core) {
 		c.CtimerStart(0)
 		for i := 1; i <= loops; i++ {
-			c.CopyWordsTo(c.GlobalOn(tr, tc, dataOff), dataOff, words)
-			c.StoreGlobal32(c.GlobalOn(tr, tc, flagOff), uint32(i))
+			c.CopyWordsTo(c.GlobalOn(p.tr, p.tc, dataOff), dataOff, words)
+			c.StoreGlobal32(c.GlobalOn(p.tr, p.tc, flagOff), uint32(i))
 			c.WaitLocal32GE(flagOff, uint32(i))
 		}
 		rt = c.CtimerElapsed(0) / loops
 	})
 	if err := sys.Engine().Run(); err != nil {
+		return nil, err
+	}
+	return rtResult{m: epiphany.Metrics{Elapsed: rt}}, nil
+}
+
+func main() {
+	targets := [][2]int{{0, 1}, {1, 1}, {3, 3}, {7, 7}}
+	var jobs []epiphany.Job
+	for _, tgt := range targets {
+		jobs = append(jobs, epiphany.Job{Workload: pingpong{tr: tgt[0], tc: tgt[1]}})
+	}
+	batch, err := (&epiphany.Runner{Workers: len(jobs)}).RunBatch(context.Background(), jobs)
+	if err != nil {
 		log.Fatal(err)
 	}
-	return rt
+	if err := batch.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("80-byte ping-pong round trips (direct remote writes + flag polling):")
+	fmt.Printf("%-8s %-9s %s\n", "target", "distance", "round trip")
+	for i, jr := range batch.Results {
+		tgt := targets[i]
+		fmt.Printf("(%d,%d)    %-9d %v\n", tgt[0], tgt[1], tgt[0]+tgt[1], jr.Result.Metrics().Elapsed)
+	}
+	mutexDemo()
 }
 
 // mutexDemo has four cores increment a shared counter under the SDK's

@@ -1,10 +1,12 @@
 // Quickstart: run the paper's two kernels on the simulated 64-core
-// Epiphany and verify both against host references.
+// Epiphany as one concurrent batch - each workload gets its own fresh
+// board - and verify both against host references.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,10 +21,26 @@ func main() {
 		GroupRows: 2, GroupCols: 2,
 		Comm: true, Tuned: true, Seed: 1,
 	}
-	sres, err := epiphany.NewSystem().RunStencil(scfg)
+	// 2. On-chip Cannon matrix multiplication: 256x256 over all 64
+	// cores, 32x32 per core with the paper's half-buffer rotation.
+	mcfg := epiphany.MatmulConfig{
+		M: 256, N: 256, K: 256, G: 8,
+		Tuned: true, Verify: true, Seed: 2,
+	}
+
+	runner := &epiphany.Runner{Workers: 2}
+	batch, err := runner.RunWorkloads(context.Background(),
+		&epiphany.StencilWorkload{Config: scfg},
+		&epiphany.MatmulWorkload{Config: mcfg},
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := batch.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	sres := batch.Results[0].Result.(*epiphany.StencilResult)
 	fmt.Printf("stencil : %6.2f GFLOPS (%.1f%% of peak) in %v simulated\n",
 		sres.GFLOPS, sres.PctPeak, sres.Elapsed)
 	ref := epiphany.StencilReference(scfg)
@@ -36,16 +54,7 @@ func main() {
 	}
 	fmt.Printf("          max |diff| vs host reference: %g\n", worst)
 
-	// 2. On-chip Cannon matrix multiplication: 256x256 over all 64
-	// cores, 32x32 per core with the paper's half-buffer rotation.
-	mcfg := epiphany.MatmulConfig{
-		M: 256, N: 256, K: 256, G: 8,
-		Tuned: true, Verify: true, Seed: 2,
-	}
-	mres, err := epiphany.NewSystem().RunMatmul(mcfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	mres := batch.Results[1].Result.(*epiphany.MatmulResult)
 	fmt.Printf("matmul  : %6.2f GFLOPS (%.1f%% of peak) in %v simulated\n",
 		mres.GFLOPS, mres.PctPeak, mres.Elapsed)
 	fmt.Printf("          max |diff| vs host reference: %g\n",

@@ -1,0 +1,3 @@
+module epiphany
+
+go 1.24

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"epiphany/internal/core"
 	"epiphany/internal/ecore"
 	"epiphany/internal/sim"
+	"epiphany/internal/workload"
 )
 
 // Beyond the paper's own tables and figures, these experiments cover the
@@ -29,10 +31,11 @@ func ExtStreamStencil() *Table {
 			Iters: 16, TBlock: T,
 			GroupRows: 8, GroupCols: 8,
 		}
-		res, err := core.RunStreamStencil(newHost(), cfg)
+		r, err := workload.Run(context.Background(), &workload.StreamStencil{Config: cfg})
 		if err != nil {
 			panic(err)
 		}
+		res := r.(*core.StreamStencilResult)
 		redundant := 100 * float64(res.RedundantFlops) / float64(res.UsefulFlops)
 		t.AddRow(fmt.Sprint(T), f3(res.Elapsed.Seconds()*1e3), f2(res.GFLOPS),
 			f1(float64(res.DRAMBytes)/1e6), f1(redundant))

@@ -1,19 +1,23 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"epiphany/internal/core"
 	"epiphany/internal/power"
 	"epiphany/internal/sim"
+	"epiphany/internal/workload"
 )
 
+// runMatmul executes one configuration through the workload API on a
+// fresh system, panicking on configuration errors.
 func runMatmul(cfg core.MatmulConfig) *core.MatmulResult {
-	res, err := core.RunMatmul(newHost(), cfg)
+	res, err := workload.Run(context.Background(), &workload.Matmul{Config: cfg})
 	if err != nil {
 		panic(err)
 	}
-	return res
+	return res.(*core.MatmulResult)
 }
 
 // Table4 reproduces Table IV: single-core matmul performance by block

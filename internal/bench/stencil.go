@@ -1,28 +1,23 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"epiphany/internal/core"
-	"epiphany/internal/ecore"
-	"epiphany/internal/host"
 	"epiphany/internal/sim"
+	"epiphany/internal/workload"
 )
 
-// newHost builds a fresh system for one experiment.
-func newHost() *host.Host {
-	eng := sim.NewEngine()
-	return host.New(ecore.NewChip(eng, 8, 8))
-}
-
-// runStencil executes one configuration, panicking on configuration
-// errors (the experiment definitions below are statically valid).
+// runStencil executes one configuration through the workload API (each
+// run gets its own fresh system), panicking on configuration errors
+// (the experiment definitions below are statically valid).
 func runStencil(cfg core.StencilConfig) *core.StencilResult {
-	res, err := core.RunStencil(newHost(), cfg)
+	res, err := workload.Run(context.Background(), &workload.Stencil{Config: cfg})
 	if err != nil {
 		panic(err)
 	}
-	return res
+	return res.(*core.StencilResult)
 }
 
 // stencilIters is the paper's evaluation length.

@@ -87,6 +87,23 @@ func (cfg *MatmulConfig) blockDims() (m, n, k int, err error) {
 	return m, n, k, nil
 }
 
+// Validate checks the configuration without running it.
+func (cfg *MatmulConfig) Validate() error {
+	if _, _, _, err := cfg.blockDims(); err != nil {
+		return err
+	}
+	switch cfg.Algorithm {
+	case "", "cannon":
+	case "summa":
+		if cfg.OffChip {
+			return fmt.Errorf("core: the off-chip pager is built on Cannon; SUMMA is on-chip only")
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %q (want cannon or summa)", cfg.Algorithm)
+	}
+	return nil
+}
+
 // matmulScheme picks the buffering scheme for a per-core block size.
 type matmulScheme int
 
@@ -191,22 +208,10 @@ type MatmulResult struct {
 }
 
 // PctCompute returns the Table VI "% Computation" column.
-func (r *MatmulResult) PctCompute() float64 {
-	total := r.ComputeTime + r.TransferTime
-	if total == 0 {
-		return 0
-	}
-	return 100 * float64(r.ComputeTime) / float64(total)
-}
+func (r *MatmulResult) PctCompute() float64 { return r.Metrics().PctCompute() }
 
 // PctTransfer returns the Table VI "% Shared Mem Transfers" column.
-func (r *MatmulResult) PctTransfer() float64 {
-	total := r.ComputeTime + r.TransferTime
-	if total == 0 {
-		return 0
-	}
-	return 100 * float64(r.TransferTime) / float64(total)
-}
+func (r *MatmulResult) PctTransfer() float64 { return r.Metrics().PctTransfer() }
 
 // makeMatmulInput builds deterministic operands. With Verify, entries are
 // small integers so that float32 accumulation is exact in any order.
@@ -261,18 +266,14 @@ func MaxAbsDiff(x, y []float32) float64 {
 
 // RunMatmul dispatches to the configured driver.
 func RunMatmul(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
-	switch cfg.Algorithm {
-	case "", "cannon":
-		if cfg.OffChip {
-			return runMatmulOffChip(h, cfg)
-		}
-		return runMatmulOnChip(h, cfg)
-	case "summa":
-		if cfg.OffChip {
-			return nil, fmt.Errorf("core: the off-chip pager is built on Cannon; SUMMA is on-chip only")
-		}
-		return runMatmulSumma(h, cfg)
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q (want cannon or summa)", cfg.Algorithm)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	if cfg.Algorithm == "summa" {
+		return runMatmulSumma(h, cfg)
+	}
+	if cfg.OffChip {
+		return runMatmulOffChip(h, cfg)
+	}
+	return runMatmulOnChip(h, cfg)
 }

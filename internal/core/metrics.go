@@ -1,0 +1,75 @@
+package core
+
+import "epiphany/internal/sim"
+
+// Metrics is the common performance summary every workload result
+// reports, mirroring how the paper presents performance: achieved
+// GFLOPS, percentage of the 2-flop/cycle/core peak, and - for runs that
+// page operands through shared DRAM - the compute/transfer
+// decomposition of Table VI.
+type Metrics struct {
+	// Elapsed is the simulated device time of the run.
+	Elapsed sim.Time
+	// TotalFlops counts the useful floating-point operations the run is
+	// credited with (redundant halo recomputation is excluded).
+	TotalFlops uint64
+	GFLOPS     float64
+	PctPeak    float64
+	// ComputeTime and TransferTime decompose off-chip runs as Table VI
+	// does (summed over cores); both are zero when not measured.
+	ComputeTime  sim.Time
+	TransferTime sim.Time
+}
+
+// PctCompute returns the Table VI "% Computation" column.
+func (m Metrics) PctCompute() float64 {
+	total := m.ComputeTime + m.TransferTime
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(m.ComputeTime) / float64(total)
+}
+
+// PctTransfer returns the Table VI "% Shared Mem Transfers" column.
+func (m Metrics) PctTransfer() float64 {
+	total := m.ComputeTime + m.TransferTime
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(m.TransferTime) / float64(total)
+}
+
+// Metrics summarises a stencil run.
+func (r *StencilResult) Metrics() Metrics {
+	return Metrics{
+		Elapsed:    r.Elapsed,
+		TotalFlops: r.TotalFlops,
+		GFLOPS:     r.GFLOPS,
+		PctPeak:    r.PctPeak,
+	}
+}
+
+// Metrics summarises a matmul run, including the off-chip
+// compute/transfer split when it was measured.
+func (r *MatmulResult) Metrics() Metrics {
+	return Metrics{
+		Elapsed:      r.Elapsed,
+		TotalFlops:   r.TotalFlops,
+		GFLOPS:       r.GFLOPS,
+		PctPeak:      r.PctPeak,
+		ComputeTime:  r.ComputeTime,
+		TransferTime: r.TransferTime,
+	}
+}
+
+// Metrics summarises a streamed stencil run. TotalFlops counts only the
+// useful interior updates (GFLOPS is useful flops over elapsed time);
+// the redundant overlapped-halo work stays in RedundantFlops.
+func (r *StreamStencilResult) Metrics() Metrics {
+	return Metrics{
+		Elapsed:    r.Elapsed,
+		TotalFlops: r.UsefulFlops,
+		GFLOPS:     r.GFLOPS,
+		PctPeak:    r.PctPeak,
+	}
+}

@@ -91,6 +91,12 @@ type StencilConfig struct {
 // DefaultCoefs are plausible heat-diffusion weights (sum 1).
 var DefaultCoefs = [5]float32{0.125, 0.125, 0.5, 0.125, 0.125}
 
+// Validate checks the configuration without running it (Coefs are not
+// inspected; RunStencil substitutes DefaultCoefs for a zero value).
+func (cfg *StencilConfig) Validate() error {
+	return cfg.validate()
+}
+
 func (cfg *StencilConfig) validate() error {
 	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.Iters <= 0 {
 		return fmt.Errorf("core: non-positive stencil dimensions %+v", cfg)

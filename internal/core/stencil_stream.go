@@ -46,6 +46,13 @@ type StreamStencilConfig struct {
 	Initial [][]float32
 }
 
+// Validate checks the configuration without running it (Coefs are not
+// inspected; RunStreamStencil substitutes DefaultCoefs for a zero
+// value).
+func (cfg *StreamStencilConfig) Validate() error {
+	return cfg.validate()
+}
+
 func (cfg *StreamStencilConfig) validate() error {
 	if cfg.GlobalRows <= 0 || cfg.GlobalCols <= 0 || cfg.Iters <= 0 {
 		return fmt.Errorf("core: non-positive stream stencil dimensions")

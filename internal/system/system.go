@@ -1,0 +1,101 @@
+// Package system owns the simulated board: the discrete-event engine,
+// the Epiphany chip and the ARM host model, bundled as the single-use
+// System every workload executes against. It sits below the public
+// epiphany package (which aliases System) so that internal packages -
+// notably workload and bench - can build and run boards without
+// importing the package root.
+package system
+
+import (
+	"fmt"
+
+	"epiphany/internal/core"
+	"epiphany/internal/ecore"
+	"epiphany/internal/host"
+	"epiphany/internal/sdk"
+	"epiphany/internal/sim"
+)
+
+// System is one simulated board: engine, chip and host. A System runs a
+// single experiment; build a fresh one per run so that virtual time,
+// memories and statistics start clean. The Runner in the workload
+// package does exactly that, handing every job its own board.
+type System struct {
+	eng  *sim.Engine
+	chip *ecore.Chip
+	host *host.Host
+	used bool
+}
+
+// New builds the standard 8x8 Epiphany-IV system.
+func New() *System { return NewSize(8, 8) }
+
+// NewSize builds a rows x cols device (for studying smaller or
+// hypothetical larger meshes; the paper's device is 8x8).
+func NewSize(rows, cols int) *System {
+	eng := sim.NewEngine()
+	chip := ecore.NewChip(eng, rows, cols)
+	return &System{eng: eng, chip: chip, host: host.New(chip)}
+}
+
+// Chip returns the device for kernel-level programming.
+func (s *System) Chip() *ecore.Chip { return s.chip }
+
+// Host returns the ARM host model.
+func (s *System) Host() *host.Host { return s.host }
+
+// Engine returns the simulation engine (for advanced scheduling).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// NewWorkgroup creates a workgroup on this system's chip.
+func (s *System) NewWorkgroup(originRow, originCol, rows, cols int) (*sdk.Workgroup, error) {
+	return sdk.NewWorkgroup(s.chip, originRow, originCol, rows, cols)
+}
+
+// Acquire reserves the System for one experiment. Workload
+// implementations must call it before touching the board so that a
+// stale System (whose virtual time and statistics are no longer clean)
+// is refused instead of silently producing skewed numbers.
+func (s *System) Acquire() error {
+	if s.used {
+		return fmt.Errorf("epiphany: a System runs one experiment; create a fresh one with NewSystem, or let Runner.RunBatch hand each workload its own board")
+	}
+	s.used = true
+	return nil
+}
+
+// RunStencil executes a full host-orchestrated stencil experiment.
+//
+// Deprecated: wrap the config in a StencilWorkload and execute it with
+// epiphany.Run or Runner.RunBatch, which also provide mesh-size, seed
+// and trace options.
+func (s *System) RunStencil(cfg core.StencilConfig) (*core.StencilResult, error) {
+	if err := s.Acquire(); err != nil {
+		return nil, err
+	}
+	return core.RunStencil(s.host, cfg)
+}
+
+// RunMatmul executes a full host-orchestrated matrix multiplication.
+//
+// Deprecated: wrap the config in a MatmulWorkload and execute it with
+// epiphany.Run or Runner.RunBatch.
+func (s *System) RunMatmul(cfg core.MatmulConfig) (*core.MatmulResult, error) {
+	if err := s.Acquire(); err != nil {
+		return nil, err
+	}
+	return core.RunMatmul(s.host, cfg)
+}
+
+// RunStreamStencil executes the streaming stencil with temporal
+// blocking: the grid lives in shared DRAM and blocks page through the
+// chip, with TBlock iterations applied per residency.
+//
+// Deprecated: wrap the config in a StreamStencilWorkload and execute it
+// with epiphany.Run or Runner.RunBatch.
+func (s *System) RunStreamStencil(cfg core.StreamStencilConfig) (*core.StreamStencilResult, error) {
+	if err := s.Acquire(); err != nil {
+		return nil, err
+	}
+	return core.RunStreamStencil(s.host, cfg)
+}

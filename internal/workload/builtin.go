@@ -1,0 +1,66 @@
+package workload
+
+import "epiphany/internal/core"
+
+// The built-in registry entries: one preset per scenario of the paper's
+// evaluation (plus the ablations this reproduction adds), sized so that
+// the full set batch-runs in seconds. Each is a template - rebase it
+// with WithSeed, or copy the concrete type and edit its Config for
+// custom shapes.
+func init() {
+	for _, w := range builtins {
+		Register(w)
+	}
+}
+
+var builtins = []Workload{
+	// §VI heat stencil variants.
+	&Stencil{Label: "stencil-tuned", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 2, GroupCols: 2,
+		Comm: true, Tuned: true, Seed: 11,
+	}},
+	&Stencil{Label: "stencil-naive", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 2, GroupCols: 2,
+		Comm: true, Seed: 12,
+	}},
+	&Stencil{Label: "stencil-replicated", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 2, GroupCols: 2,
+		Tuned: true, Seed: 13,
+	}},
+	&Stencil{Label: "stencil-direct", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 2, GroupCols: 2,
+		Comm: true, Tuned: true, DirectComm: true, Seed: 14,
+	}},
+	&Stencil{Label: "stencil-cross", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 2, GroupCols: 2,
+		Comm: true, Tuned: true, Shape: core.Cross, Seed: 15,
+	}},
+	&Stencil{Label: "stencil-single", Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 10, GroupRows: 1, GroupCols: 1,
+		Tuned: true, Seed: 16,
+	}},
+	// §VII / §VIII matrix multiplication variants.
+	&Matmul{Label: "matmul-cannon", Config: core.MatmulConfig{
+		M: 64, N: 64, K: 64, G: 4, Tuned: true, Verify: true, Seed: 21,
+	}},
+	&Matmul{Label: "matmul-summa", Config: core.MatmulConfig{
+		M: 64, N: 64, K: 64, G: 4, Tuned: true, Verify: true,
+		Algorithm: "summa", Seed: 22,
+	}},
+	&Matmul{Label: "matmul-single", Config: core.MatmulConfig{
+		M: 32, N: 32, K: 32, G: 1, Tuned: true, Verify: true, Seed: 23,
+	}},
+	&Matmul{Label: "matmul-offchip", Config: core.MatmulConfig{
+		M: 128, N: 128, K: 128, G: 8, OffChip: true, Tuned: true,
+		Verify: true, Seed: 24,
+	}},
+	// §IX streaming stencil with temporal blocking.
+	&StreamStencil{Label: "stream-stencil", Config: core.StreamStencilConfig{
+		GlobalRows: 128, GlobalCols: 128, BlockRows: 16, BlockCols: 16,
+		Iters: 8, TBlock: 2, GroupRows: 8, GroupCols: 8, Seed: 31,
+	}},
+	&StreamStencil{Label: "stream-stencil-deep", Config: core.StreamStencilConfig{
+		GlobalRows: 128, GlobalCols: 128, BlockRows: 16, BlockCols: 16,
+		Iters: 8, TBlock: 4, GroupRows: 8, GroupCols: 8, Seed: 32,
+	}},
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job pairs a workload with per-job options (appended after the
+// Runner's base options, so a job can override the batch defaults).
+type Job struct {
+	Workload Workload
+	Options  []Option
+}
+
+// JobResult reports one job of a batch.
+type JobResult struct {
+	// Name is the workload's name (empty only if the job had no
+	// workload).
+	Name string
+	// Result is nil when Err is set.
+	Result Result
+	Err    error
+}
+
+// BatchResult aggregates a batch; Results is index-aligned with the
+// submitted jobs regardless of completion order.
+type BatchResult struct {
+	Results []JobResult
+}
+
+// Failed returns the jobs that did not produce a result.
+func (b *BatchResult) Failed() []JobResult {
+	var failed []JobResult
+	for _, jr := range b.Results {
+		if jr.Err != nil {
+			failed = append(failed, jr)
+		}
+	}
+	return failed
+}
+
+// Err summarises the batch: nil when every job succeeded, otherwise the
+// first failure annotated with the failure count.
+func (b *BatchResult) Err() error {
+	failed := b.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("epiphany: %d of %d jobs failed, first %q: %w",
+		len(failed), len(b.Results), failed[0].Name, failed[0].Err)
+}
+
+// Runner executes batches of workloads concurrently. Every job gets its
+// own fresh System (a System is single-use; sharing one across jobs
+// would blend virtual clocks and statistics), so each simulation stays
+// bit-deterministic: a batch produces byte-identical Metrics to running
+// the same jobs sequentially, in any interleaving.
+type Runner struct {
+	// Workers caps the number of concurrent simulations; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Options are applied to every job, before the job's own options.
+	Options []Option
+}
+
+// RunBatch executes jobs across the worker pool and returns the
+// aggregated results in submission order. Errors - validation failures,
+// run errors, panics out of a workload - are captured per job, never
+// aborting the rest of the batch. Cancelling ctx stops feeding new jobs
+// (simulations already in flight run to completion); jobs that never
+// started report ctx's error. The returned error is ctx's error, if
+// any - per-job failures are reported in the BatchResult only.
+func (r *Runner) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	br := &BatchResult{Results: make([]JobResult, len(jobs))}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				br.Results[i] = r.runJob(ctx, jobs[i])
+			}
+		}()
+	}
+	next := 0
+feed:
+	for ; next < len(jobs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for ; next < len(jobs); next++ {
+		if jobs[next].Workload != nil {
+			br.Results[next].Name = jobs[next].Workload.Name()
+		}
+		br.Results[next].Err = ctx.Err()
+	}
+	return br, ctx.Err()
+}
+
+// RunWorkloads is RunBatch over bare workloads with no per-job options.
+func (r *Runner) RunWorkloads(ctx context.Context, ws ...Workload) (*BatchResult, error) {
+	jobs := make([]Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = Job{Workload: w}
+	}
+	return r.RunBatch(ctx, jobs)
+}
+
+// runJob executes one job on a fresh System, converting panics (for
+// example from a malformed Initial field) into per-job errors.
+func (r *Runner) runJob(ctx context.Context, job Job) (jr JobResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			jr.Result = nil
+			jr.Err = fmt.Errorf("epiphany: workload %q panicked: %v", jr.Name, p)
+		}
+	}()
+	if job.Workload == nil {
+		jr.Err = fmt.Errorf("epiphany: job has no workload")
+		return jr
+	}
+	jr.Name = job.Workload.Name()
+	opts := make([]Option, 0, len(r.Options)+len(job.Options))
+	opts = append(opts, r.Options...)
+	opts = append(opts, job.Options...)
+	jr.Result, jr.Err = Run(ctx, job.Workload, opts...)
+	return jr
+}

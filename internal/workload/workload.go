@@ -1,0 +1,168 @@
+// Package workload defines the pluggable workload abstraction the
+// public epiphany package re-exports: a Workload is any experiment that
+// can validate its configuration and execute against a fresh System,
+// reporting the paper-style Metrics. The package also keeps the
+// process-wide registry of named workloads and the functional options
+// (mesh size, seed, trace) shared by the one-shot Run helper and the
+// concurrent batch Runner.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"epiphany/internal/core"
+	"epiphany/internal/system"
+	"epiphany/internal/trace"
+)
+
+// Metrics is the common performance summary (GFLOPS, % of peak,
+// compute/transfer split) every Result reports.
+type Metrics = core.Metrics
+
+// Result is the output of one workload run. Concrete results (for
+// example core.StencilResult) carry richer data - gathered grids,
+// product matrices, DRAM traffic - reachable by type assertion; Metrics
+// is the lingua franca every result speaks.
+type Result interface {
+	Metrics() Metrics
+}
+
+// Workload is one runnable experiment. Implementations outside this
+// module plug in the same way the built-ins do: validate the
+// configuration, Acquire the System, drive the board, and report
+// Metrics.
+type Workload interface {
+	// Name identifies the workload; registered names must be unique.
+	Name() string
+	// Validate checks the configuration without running it.
+	Validate() error
+	// Run executes the workload on a fresh System. Implementations must
+	// call sys.Acquire so that stale boards are refused, and should
+	// check ctx before starting (a simulation in flight is not
+	// interruptible; cancellation is observed at run boundaries).
+	Run(ctx context.Context, sys *system.System) (Result, error)
+}
+
+// Reseeder is implemented by workloads whose inputs derive from a seed;
+// WithSeed uses it to rebase a workload onto a new seed without
+// mutating the original (registered workloads are shared).
+type Reseeder interface {
+	Workload
+	Reseed(seed uint64) Workload
+}
+
+// runConfig collects the option-settable knobs for one run.
+type runConfig struct {
+	rows, cols int
+	seed       *uint64
+	trace      io.Writer
+}
+
+// Option configures how Run (and Runner) executes a workload.
+type Option func(*runConfig)
+
+// WithMeshSize runs the workload on a rows x cols device instead of the
+// default 8x8 Epiphany-IV mesh.
+func WithMeshSize(rows, cols int) Option {
+	return func(rc *runConfig) { rc.rows, rc.cols = rows, cols }
+}
+
+// WithSeed rebases the workload's deterministic inputs onto seed. The
+// workload must implement Reseeder (the built-ins do).
+func WithSeed(seed uint64) Option {
+	return func(rc *runConfig) { s := seed; rc.seed = &s }
+}
+
+// WithTrace writes the per-core activity heatmaps and the mesh-link
+// heatmap to w after the run.
+func WithTrace(w io.Writer) Option {
+	return func(rc *runConfig) { rc.trace = w }
+}
+
+// Run validates w and executes it on a fresh System built according to
+// the options. It is the one-shot form of Runner.RunBatch.
+func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("epiphany: Run of nil workload")
+	}
+	rc := runConfig{rows: 8, cols: 8}
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.seed != nil {
+		r, ok := w.(Reseeder)
+		if !ok {
+			return nil, fmt.Errorf("epiphany: workload %q does not support WithSeed", w.Name())
+		}
+		w = r.Reseed(*rc.seed)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sys := system.NewSize(rc.rows, rc.cols)
+	res, err := w.Run(ctx, sys)
+	if err != nil {
+		return nil, err
+	}
+	if rc.trace != nil {
+		io.WriteString(rc.trace, trace.Take(sys.Chip()).String())
+		io.WriteString(rc.trace, trace.LinkHeat(sys.Chip()))
+	}
+	return res, nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Workload)
+)
+
+// Register adds w to the process-wide workload registry. It panics if w
+// is nil, unnamed, or a name is registered twice - registration happens
+// from init functions, where a silent error would go unread (the same
+// contract as database/sql.Register).
+func Register(w Workload) {
+	if w == nil {
+		panic("epiphany: Register of nil workload")
+	}
+	name := w.Name()
+	if name == "" {
+		panic("epiphany: Register of unnamed workload")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("epiphany: Register called twice for workload %q", name))
+	}
+	registry[name] = w
+}
+
+// All returns every registered workload sorted by name.
+func All() []Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ws := make([]Workload, len(names))
+	for i, name := range names {
+		ws[i] = registry[name]
+	}
+	return ws
+}
+
+// ByName looks up one registered workload.
+func ByName(name string) (Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[name]
+	return w, ok
+}

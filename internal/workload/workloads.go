@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"context"
+
+	"epiphany/internal/core"
+	"epiphany/internal/system"
+)
+
+// The paper's three applications as pluggable workloads. Each wraps the
+// corresponding core config; the zero Label falls back to the kind name
+// so ad-hoc instances need no naming, while presets and sweeps label
+// every variant for the registry and batch reports.
+
+// Stencil runs the §VI heat stencil (hand-scheduled 5-point kernel with
+// DMA boundary exchange) as a Workload.
+type Stencil struct {
+	// Label overrides the workload name (default "stencil").
+	Label  string
+	Config core.StencilConfig
+}
+
+// Name implements Workload.
+func (s *Stencil) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "stencil"
+}
+
+// Validate implements Workload.
+func (s *Stencil) Validate() error { return s.Config.Validate() }
+
+// Reseed implements Reseeder.
+func (s *Stencil) Reseed(seed uint64) Workload {
+	c := *s
+	c.Config.Seed = seed
+	return &c
+}
+
+// Run implements Workload.
+func (s *Stencil) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	res, err := core.RunStencil(sys.Host(), s.Config)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Matmul runs the §VII Cannon (or §VIII SUMMA) matrix multiplication as
+// a Workload, including the off-chip paged level.
+type Matmul struct {
+	// Label overrides the workload name (default "matmul").
+	Label  string
+	Config core.MatmulConfig
+}
+
+// Name implements Workload.
+func (m *Matmul) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "matmul"
+}
+
+// Validate implements Workload.
+func (m *Matmul) Validate() error { return m.Config.Validate() }
+
+// Reseed implements Reseeder.
+func (m *Matmul) Reseed(seed uint64) Workload {
+	c := *m
+	c.Config.Seed = seed
+	return &c
+}
+
+// Run implements Workload.
+func (m *Matmul) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	res, err := core.RunMatmul(sys.Host(), m.Config)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// StreamStencil runs the §IX temporally blocked streaming stencil as a
+// Workload: the grid lives in shared DRAM and pages through the chip.
+type StreamStencil struct {
+	// Label overrides the workload name (default "stream-stencil").
+	Label  string
+	Config core.StreamStencilConfig
+}
+
+// Name implements Workload.
+func (s *StreamStencil) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "stream-stencil"
+}
+
+// Validate implements Workload.
+func (s *StreamStencil) Validate() error { return s.Config.Validate() }
+
+// Reseed implements Reseeder.
+func (s *StreamStencil) Reseed(seed uint64) Workload {
+	c := *s
+	c.Config.Seed = seed
+	return &c
+}
+
+// Run implements Workload.
+func (s *StreamStencil) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	res, err := core.RunStreamStencil(sys.Host(), s.Config)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package epiphany
+
+import (
+	"context"
+	"io"
+
+	"epiphany/internal/workload"
+)
+
+// The pluggable workload API. A Workload is any experiment that can
+// validate its configuration and execute against a fresh System; the
+// built-in implementations cover the paper's three applications, and
+// external packages plug in the same way (see examples/mandelbrot and
+// examples/pingpong for custom kernel-level workloads).
+type (
+	// Workload is one runnable experiment: Name, Validate, and Run
+	// against a fresh single-use System.
+	Workload = workload.Workload
+	// Result is a workload's output; every result reports Metrics, and
+	// concrete types (StencilResult, MatmulResult, ...) carry richer
+	// data reachable by type assertion.
+	Result = workload.Result
+	// Metrics is the common performance summary: GFLOPS, % of peak, and
+	// the compute/transfer split for runs that page through shared DRAM.
+	Metrics = workload.Metrics
+	// Option configures a run: WithMeshSize, WithSeed, WithTrace.
+	Option = workload.Option
+	// Reseeder is implemented by workloads whose inputs derive from a
+	// seed; WithSeed requires it.
+	Reseeder = workload.Reseeder
+
+	// StencilWorkload runs the §VI heat stencil as a Workload.
+	StencilWorkload = workload.Stencil
+	// MatmulWorkload runs the §VII/§VIII matrix multiplication as a
+	// Workload.
+	MatmulWorkload = workload.Matmul
+	// StreamStencilWorkload runs the §IX streaming stencil as a
+	// Workload.
+	StreamStencilWorkload = workload.StreamStencil
+)
+
+// Register adds w to the process-wide workload registry. It panics if w
+// is nil, unnamed, or its name is already taken (registration happens
+// from init functions, where a silent error would go unread).
+func Register(w Workload) { workload.Register(w) }
+
+// Workloads returns every registered workload sorted by name. The
+// built-in presets - one per scenario of the paper's evaluation - are
+// always present.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName looks up one registered workload (e.g.
+// "stencil-tuned", "matmul-offchip").
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// Run validates w and executes it on a fresh System built according to
+// the options. It is the one-shot form of Runner.RunBatch.
+func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
+	return workload.Run(ctx, w, opts...)
+}
+
+// WithMeshSize runs the workload on a rows x cols device instead of the
+// default 8x8 Epiphany-IV mesh.
+func WithMeshSize(rows, cols int) Option { return workload.WithMeshSize(rows, cols) }
+
+// WithSeed rebases the workload's deterministic inputs onto seed; the
+// workload must implement Reseeder (the built-ins do).
+func WithSeed(seed uint64) Option { return workload.WithSeed(seed) }
+
+// WithTrace writes the per-core activity heatmaps and the mesh-link
+// heatmap to w after the run.
+func WithTrace(w io.Writer) Option { return workload.WithTrace(w) }

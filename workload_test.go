@@ -1,0 +1,121 @@
+package epiphany
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRegistry(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 8 {
+		t.Fatalf("%d workloads registered, want >= 8 built-in presets", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1].Name() >= ws[i].Name() {
+			t.Fatalf("Workloads() not sorted: %q before %q", ws[i-1].Name(), ws[i].Name())
+		}
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("built-in %q does not validate: %v", w.Name(), err)
+		}
+	}
+	w, ok := WorkloadByName("stencil-tuned")
+	if !ok {
+		t.Fatal("stencil-tuned missing from the registry")
+	}
+	if w.Name() != "stencil-tuned" {
+		t.Fatalf("lookup returned %q", w.Name())
+	}
+	if _, ok := WorkloadByName("no-such-workload"); ok {
+		t.Fatal("phantom workload resolved")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	Register(&StencilWorkload{Label: "stencil-tuned"})
+}
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil registration must panic")
+		}
+	}()
+	Register(nil)
+}
+
+func TestRunValidates(t *testing.T) {
+	_, err := Run(context.Background(), &StencilWorkload{Config: StencilConfig{
+		Rows: -1, Cols: 20, Iters: 1, GroupRows: 1, GroupCols: 1,
+	}})
+	if err == nil {
+		t.Fatal("invalid config must be refused before simulating")
+	}
+}
+
+func TestRunWithMeshSize(t *testing.T) {
+	// A 2x2 workgroup fits a 2x2 mesh but not a 1x1 one.
+	w, _ := WorkloadByName("stencil-tuned")
+	if _, err := Run(context.Background(), w, WithMeshSize(2, 2)); err != nil {
+		t.Fatalf("2x2 mesh: %v", err)
+	}
+	if _, err := Run(context.Background(), w, WithMeshSize(1, 1)); err == nil {
+		t.Fatal("a 2x2 workgroup must not fit a 1x1 mesh")
+	}
+}
+
+func TestRunWithSeed(t *testing.T) {
+	w := &StencilWorkload{Config: StencilConfig{
+		Rows: 20, Cols: 20, Iters: 2, GroupRows: 1, GroupCols: 1, Tuned: true, Seed: 1,
+	}}
+	run := func(opts ...Option) [][]float32 {
+		res, err := Run(context.Background(), w, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.(*StencilResult).Global
+	}
+	a := run(WithSeed(5))
+	b := run(WithSeed(5))
+	c := run(WithSeed(6))
+	if w.Config.Seed != 1 {
+		t.Fatalf("WithSeed mutated the original workload (seed %d)", w.Config.Seed)
+	}
+	same := func(x, y [][]float32) bool {
+		for r := range x {
+			for col := range x[r] {
+				if x[r][col] != y[r][col] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed must reproduce the same field")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds must produce different fields")
+	}
+}
+
+func TestSystemSingleUsePointsAtRunner(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	err := sys.Acquire()
+	if err == nil {
+		t.Fatal("second Acquire must fail")
+	}
+	if !strings.Contains(err.Error(), "RunBatch") {
+		t.Fatalf("reuse error should point at the batch API, got: %v", err)
+	}
+}
