@@ -6,10 +6,11 @@
 //
 //	epiphany-bench -all                 # every paper experiment
 //	epiphany-bench -run fig6            # one experiment
-//	epiphany-bench -list                # list experiments and workloads
+//	epiphany-bench -list                # list experiments, workloads, topologies
 //	epiphany-bench -run table6 -large   # include the 1536x1536 row
 //	epiphany-bench -workloads all -j 8  # batch-run the workload registry
 //	epiphany-bench -workloads stencil-tuned,matmul-cannon
+//	epiphany-bench -workloads all -topo cluster-2x2   # on a multi-chip board
 package main
 
 import (
@@ -32,7 +33,13 @@ func main() {
 	extras := flag.Bool("extras", false, "also run the extension and ablation studies")
 	workloads := flag.String("workloads", "", `batch-run registered workloads: "all" or a comma-separated name list`)
 	jobs := flag.Int("j", 0, "concurrent workers for -workloads (0 = GOMAXPROCS)")
+	topo := flag.String("topo", "", `fabric topology for -workloads: "e16", "e64" (default) or "cluster-2x2"`)
 	flag.Parse()
+
+	if *topo != "" && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-topo only applies to -workloads; the paper experiments are defined on the default board")
+		os.Exit(2)
+	}
 
 	switch {
 	case *list:
@@ -44,13 +51,18 @@ func main() {
 			fmt.Printf("  %s (extra)\n", e.Name)
 		}
 		// The workload names come from the registry, so workloads
-		// registered by linked-in packages are enumerated too.
-		fmt.Println("workloads:")
+		// registered by linked-in packages are enumerated too. Every
+		// registered workload runs on every topology below (-topo).
+		fmt.Println("workloads (each runnable on every topology):")
 		for _, w := range epiphany.Workloads() {
 			fmt.Printf("  %s\n", w.Name())
 		}
+		fmt.Println("topologies:")
+		for _, t := range epiphany.Topologies() {
+			fmt.Printf("  %s\n", t)
+		}
 	case *workloads != "":
-		runWorkloads(*workloads, *jobs)
+		runWorkloads(*workloads, *jobs, *topo)
 	case *run != "":
 		e, ok := bench.ByName(*run)
 		if !ok {
@@ -81,8 +93,9 @@ func main() {
 }
 
 // runWorkloads resolves the selection against the registry and executes
-// it as one concurrent batch, each job on its own fresh System.
-func runWorkloads(sel string, workers int) {
+// it as one concurrent batch, each job on its own fresh System built on
+// the selected topology.
+func runWorkloads(sel string, workers int, topoName string) {
 	var ws []epiphany.Workload
 	if sel == "all" {
 		ws = epiphany.Workloads()
@@ -98,14 +111,23 @@ func runWorkloads(sel string, workers int) {
 		}
 	}
 	runner := &epiphany.Runner{Workers: workers}
+	if topoName != "" {
+		topo, ok := epiphany.TopologyByName(topoName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown topology %q (try -list)\n", topoName)
+			os.Exit(1)
+		}
+		runner.Options = []epiphany.Option{epiphany.WithTopology(topo)}
+		fmt.Printf("topology: %s\n", topo)
+	}
 	start := time.Now()
 	batch, err := runner.RunWorkloads(context.Background(), ws...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-22s %-14s %10s %8s %11s %11s\n",
-		"workload", "simulated", "GFLOPS", "% peak", "% compute", "% transfer")
+	fmt.Printf("%-22s %-14s %10s %8s %11s %11s %12s\n",
+		"workload", "simulated", "GFLOPS", "% peak", "% compute", "% transfer", "x-chip time")
 	for _, jr := range batch.Results {
 		if jr.Err != nil {
 			fmt.Printf("%-22s FAILED: %v\n", jr.Name, jr.Err)
@@ -117,8 +139,12 @@ func runWorkloads(sel string, workers int) {
 			split[0] = fmt.Sprintf("%.1f", m.PctCompute())
 			split[1] = fmt.Sprintf("%.1f", m.PctTransfer())
 		}
-		fmt.Printf("%-22s %-14v %10.2f %8.1f %11s %11s\n",
-			jr.Name, m.Elapsed, m.GFLOPS, m.PctPeak, split[0], split[1])
+		xchip := "-"
+		if m.ELinkCrossings > 0 {
+			xchip = fmt.Sprint(m.ELinkCrossTime)
+		}
+		fmt.Printf("%-22s %-14v %10.2f %8.1f %11s %11s %12s\n",
+			jr.Name, m.Elapsed, m.GFLOPS, m.PctPeak, split[0], split[1], xchip)
 	}
 	fmt.Printf("[%d workloads in %v wall clock]\n", len(batch.Results), time.Since(start).Round(time.Millisecond))
 	if err := batch.Err(); err != nil {

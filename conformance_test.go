@@ -1,0 +1,165 @@
+package epiphany_test
+
+// The golden-metrics conformance harness: every registered workload is
+// pinned, bit for bit, to the metrics the seed implementation produced
+// on the single-chip devices, so that topology and router work can
+// never silently drift the paper's single-chip numbers. In the spirit
+// of virtual-repository validation (Kartoun, arXiv:1608.00570), the
+// simulated fabric is only trusted because its outputs are continually
+// checked against frozen reference statistics.
+//
+// If a change legitimately alters these numbers (a recalibration, a
+// kernel fix), regenerate the table by running each workload and
+// printing Elapsed, TotalFlops and the Float64bits of GFLOPS/PctPeak -
+// and say why in the commit message. The e64 column doubles as the
+// pre-PR seed pin: it was generated from the seed commit and must never
+// change as a side effect.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"epiphany"
+)
+
+// goldenKey identifies one (topology, workload) cell.
+type goldenKey struct {
+	topo     string
+	workload string
+}
+
+// goldenMetrics freezes the exact bits of one run's metrics. GFLOPS and
+// PctPeak are stored as Float64bits so the comparison is bit-identical,
+// not approximate.
+type goldenMetrics struct {
+	elapsed    uint64
+	totalFlops uint64
+	gflopsBits uint64
+	pctBits    uint64
+}
+
+// golden pins every registered workload on the two single-chip presets.
+// Generated from the seed implementation (e64 = the paper's default
+// device, bit-identical to pre-topology results; e16 = the same
+// workloads topology-fitted to one 4x4 chip).
+var golden = map[goldenKey]goldenMetrics{
+	{"e64", "matmul-cannon"}:       {124515, 524288, 0x4029438b8657fde1, 0x405072a42b769e9f},
+	{"e64", "matmul-offchip"}:      {4140786, 4194304, 0x40084f68a3136f23, 0x400fa7659456a360},
+	{"e64", "matmul-single"}:       {175830, 65536, 0x3ff1e4073bb0eca2, 0x40574b9415b90973},
+	{"e64", "matmul-summa"}:        {193603, 524288, 0x40203f936c80344c, 0x4045281d4a9c4419},
+	{"e64", "stencil-cross"}:       {243755, 320000, 0x400f81cdc46b90a7, 0x4054832ca1360782},
+	{"e64", "stencil-direct"}:      {238590, 320000, 0x40101834ca46c06d, 0x4054f4da120c1fe3},
+	{"e64", "stencil-naive"}:       {1311190, 320000, 0x3fe76dd96a8ab844, 0x402e81b3180f4a99},
+	{"e64", "stencil-replicated"}:  {218150, 320000, 0x40119a41d566db90, 0x4056eb85b888988e},
+	{"e64", "stencil-single"}:      {218150, 80000, 0x3ff19a41d566db90, 0x4056eb85b888988e},
+	{"e64", "stencil-tuned"}:       {239340, 320000, 0x40100b4b8925287f, 0x4054e40a5a930cbb},
+	{"e64", "stream-stencil"}:      {8168197, 1310720, 0x3fdecf3ccad3f5d7, 0x3fe40eeb940ca963},
+	{"e64", "stream-stencil-deep"}: {5664179, 1310720, 0x3fe637031b6b9dc9, 0x3fececf6b65ecac9},
+	{"e16", "matmul-cannon"}:       {124515, 524288, 0x4029438b8657fde1, 0x405072a42b769e9f},
+	{"e16", "matmul-offchip"}:      {4714696, 4194304, 0x400559d8a859ce8a, 0x402bccfcc5df9a44},
+	{"e16", "matmul-single"}:       {175830, 65536, 0x3ff1e4073bb0eca2, 0x40574b9415b90973},
+	{"e16", "matmul-summa"}:        {193603, 524288, 0x40203f936c80344c, 0x4045281d4a9c4419},
+	{"e16", "stencil-cross"}:       {243755, 320000, 0x400f81cdc46b90a7, 0x4054832ca1360782},
+	{"e16", "stencil-direct"}:      {238590, 320000, 0x40101834ca46c06d, 0x4054f4da120c1fe3},
+	{"e16", "stencil-naive"}:       {1311190, 320000, 0x3fe76dd96a8ab844, 0x402e81b3180f4a99},
+	{"e16", "stencil-replicated"}:  {218150, 320000, 0x40119a41d566db90, 0x4056eb85b888988e},
+	{"e16", "stencil-single"}:      {218150, 80000, 0x3ff19a41d566db90, 0x4056eb85b888988e},
+	{"e16", "stencil-tuned"}:       {239340, 320000, 0x40100b4b8925287f, 0x4054e40a5a930cbb},
+	{"e16", "stream-stencil"}:      {8167565, 1310720, 0x3fdecfd90800f39c, 0x40040f514be09e9a},
+	{"e16", "stream-stencil-deep"}: {5663715, 1310720, 0x3fe6377a6135257b, 0x400ced9203e7de23},
+}
+
+func checkGolden(t *testing.T, topo epiphany.Topology, w epiphany.Workload, m epiphany.Metrics) {
+	t.Helper()
+	want, ok := golden[goldenKey{topo.Name, w.Name()}]
+	if !ok {
+		t.Errorf("%s on %s: no golden entry - add one when registering a new built-in", w.Name(), topo.Name)
+		return
+	}
+	got := goldenMetrics{
+		elapsed:    uint64(m.Elapsed),
+		totalFlops: m.TotalFlops,
+		gflopsBits: math.Float64bits(m.GFLOPS),
+		pctBits:    math.Float64bits(m.PctPeak),
+	}
+	if got != want {
+		t.Errorf("%s on %s drifted from golden metrics:\n got  elapsed=%d flops=%d gflops=%v (bits %#x) pct=%v (bits %#x)\n want elapsed=%d flops=%d gflops=%v (bits %#x) pct=%v (bits %#x)",
+			w.Name(), topo.Name,
+			got.elapsed, got.totalFlops, m.GFLOPS, got.gflopsBits, m.PctPeak, got.pctBits,
+			want.elapsed, want.totalFlops, math.Float64frombits(want.gflopsBits), want.gflopsBits,
+			math.Float64frombits(want.pctBits), want.pctBits)
+	}
+	if m.ELinkCrossings != 0 || m.ELinkCrossTime != 0 {
+		t.Errorf("%s on %s: single-chip run reports chip crossings (%d hops, %v)",
+			w.Name(), topo.Name, m.ELinkCrossings, m.ELinkCrossTime)
+	}
+}
+
+// TestGoldenMetricsSingleChip pins every registered workload's metrics
+// on the e64 and e16 presets to the frozen table above, bit for bit.
+func TestGoldenMetricsSingleChip(t *testing.T) {
+	for _, topo := range []epiphany.Topology{epiphany.TopologyE64, epiphany.TopologyE16} {
+		for _, w := range epiphany.Workloads() {
+			if _, builtin := golden[goldenKey{"e64", w.Name()}]; !builtin {
+				continue // externally registered workloads are not pinned
+			}
+			res, err := epiphany.Run(context.Background(), w, epiphany.WithTopology(topo))
+			if err != nil {
+				t.Errorf("%s on %s: %v", w.Name(), topo.Name, err)
+				continue
+			}
+			checkGolden(t, topo, w, res.Metrics())
+		}
+	}
+}
+
+// TestGoldenDefaultBoardIsE64 pins the option-less Run path to the same
+// golden values: the default board must stay the paper's 8x8 device.
+func TestGoldenDefaultBoardIsE64(t *testing.T) {
+	for _, name := range []string{"stencil-tuned", "matmul-cannon", "stream-stencil"} {
+		w, _ := epiphany.WorkloadByName(name)
+		res, err := epiphany.Run(context.Background(), w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkGolden(t, epiphany.TopologyE64, w, res.Metrics())
+	}
+}
+
+// TestClusterRunsCrossChips: on the 2x2 Parallella cluster, workloads
+// whose workgroups span the chip grid must report nonzero chip-to-chip
+// eLink transfer time in Metrics, cost real simulated time versus the
+// monolithic E64, and stay bit-deterministic across repeated runs.
+func TestClusterRunsCrossChips(t *testing.T) {
+	for _, name := range []string{"matmul-offchip", "stream-stencil"} {
+		w, _ := epiphany.WorkloadByName(name)
+		run := func() epiphany.Metrics {
+			res, err := epiphany.Run(context.Background(), w, epiphany.WithTopology(epiphany.TopologyCluster2x2))
+			if err != nil {
+				t.Fatalf("%s on cluster-2x2: %v", name, err)
+			}
+			return res.Metrics()
+		}
+		m := run()
+		if m.ELinkCrossings == 0 || m.ELinkCrossTime == 0 || m.ELinkCrossBytes == 0 {
+			t.Errorf("%s on cluster-2x2: no chip-boundary traffic reported (%+v)", name, m)
+		}
+		e64, _ := golden[goldenKey{"e64", name}]
+		if uint64(m.Elapsed) <= e64.elapsed {
+			t.Errorf("%s on cluster-2x2 ran in %v, not slower than the monolithic E64 (%v)",
+				name, m.Elapsed, epiphany.Time(e64.elapsed))
+		}
+		if again := run(); again != m {
+			t.Errorf("%s on cluster-2x2 not deterministic:\n %+v\n %+v", name, m, again)
+		}
+	}
+	// A workgroup that fits inside one chip of the cluster crosses
+	// nothing and keeps its single-chip metrics exactly.
+	w, _ := epiphany.WorkloadByName("stencil-tuned")
+	res, err := epiphany.Run(context.Background(), w, epiphany.WithTopology(epiphany.TopologyCluster2x2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, epiphany.TopologyE64, w, res.Metrics())
+}

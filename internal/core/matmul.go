@@ -205,6 +205,8 @@ type MatmulResult struct {
 	TransferTime sim.Time
 	// C is the gathered result, row-major M x K.
 	C []float32
+	// NoC reports chip-boundary eLink traffic on multi-chip boards.
+	NoC NoCStats
 }
 
 // PctCompute returns the Table VI "% Computation" column.

@@ -251,7 +251,7 @@ func runMatmulOnChip(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 	if err := h.Chip().Engine().Run(); err != nil {
 		return nil, err
 	}
-	finishMatmulResult(res, &cfg, g*g)
+	finishMatmulResult(h, res, &cfg, g*g)
 	return res, nil
 }
 
@@ -339,7 +339,7 @@ func runMatmulOffChip(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 	if err := h.Chip().Engine().Run(); err != nil {
 		return nil, err
 	}
-	finishMatmulResult(res, &cfg, g*g)
+	finishMatmulResult(h, res, &cfg, g*g)
 	return res, nil
 }
 
@@ -419,10 +419,11 @@ func pasteBlock(m []float32, pitch, r0, c0, rows, cols int, blk []float32) {
 	}
 }
 
-func finishMatmulResult(res *MatmulResult, cfg *MatmulConfig, cores int) {
+func finishMatmulResult(h *host.Host, res *MatmulResult, cfg *MatmulConfig, cores int) {
 	res.TotalFlops = 2 * uint64(cfg.M) * uint64(cfg.N) * uint64(cfg.K)
 	if res.Elapsed > 0 {
 		res.GFLOPS = float64(res.TotalFlops) / res.Elapsed.Nanoseconds()
 		res.PctPeak = 100 * res.GFLOPS / peakGFLOPS(cores)
 	}
+	res.NoC = captureNoC(h)
 }

@@ -292,7 +292,7 @@ func runMatmulSumma(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 	if err := h.Chip().Engine().Run(); err != nil {
 		return nil, err
 	}
-	finishMatmulResult(res, &cfg, g*g)
+	finishMatmulResult(h, res, &cfg, g*g)
 	return res, nil
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "epiphany/internal/sim"
+import (
+	"epiphany/internal/host"
+	"epiphany/internal/sim"
+)
 
 // Metrics is the common performance summary every workload result
 // reports, mirroring how the paper presents performance: achieved
@@ -19,6 +22,32 @@ type Metrics struct {
 	// does (summed over cores); both are zero when not measured.
 	ComputeTime  sim.Time
 	TransferTime sim.Time
+	// ELinkCrossings, ELinkCrossBytes and ELinkCrossTime report the
+	// traffic routed over chip-to-chip eLinks on multi-chip boards: how
+	// many boundary hops were taken, the bytes they carried, and the
+	// accumulated time spent crossing (arbitration, off-chip
+	// serialization, crossing latency). All zero on a single chip.
+	ELinkCrossings  uint64
+	ELinkCrossBytes uint64
+	ELinkCrossTime  sim.Time
+}
+
+// NoCStats is the interconnect summary captured from the mesh after a
+// run; results embed it so Metrics can report chip-boundary costs.
+type NoCStats struct {
+	ELinkCrossings  uint64
+	ELinkCrossBytes uint64
+	ELinkCrossTime  sim.Time
+}
+
+// captureNoC snapshots the board's chip-boundary counters.
+func captureNoC(h *host.Host) NoCStats {
+	m := h.Chip().Fabric().Mesh
+	return NoCStats{
+		ELinkCrossings:  m.Crossings(),
+		ELinkCrossBytes: m.CrossBytes(),
+		ELinkCrossTime:  m.CrossTime(),
+	}
 }
 
 // PctCompute returns the Table VI "% Computation" column.
@@ -39,20 +68,29 @@ func (m Metrics) PctTransfer() float64 {
 	return 100 * float64(m.TransferTime) / float64(total)
 }
 
+// cross copies the chip-boundary counters into a Metrics.
+func (m *Metrics) cross(n NoCStats) {
+	m.ELinkCrossings = n.ELinkCrossings
+	m.ELinkCrossBytes = n.ELinkCrossBytes
+	m.ELinkCrossTime = n.ELinkCrossTime
+}
+
 // Metrics summarises a stencil run.
 func (r *StencilResult) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Elapsed:    r.Elapsed,
 		TotalFlops: r.TotalFlops,
 		GFLOPS:     r.GFLOPS,
 		PctPeak:    r.PctPeak,
 	}
+	m.cross(r.NoC)
+	return m
 }
 
 // Metrics summarises a matmul run, including the off-chip
 // compute/transfer split when it was measured.
 func (r *MatmulResult) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Elapsed:      r.Elapsed,
 		TotalFlops:   r.TotalFlops,
 		GFLOPS:       r.GFLOPS,
@@ -60,16 +98,20 @@ func (r *MatmulResult) Metrics() Metrics {
 		ComputeTime:  r.ComputeTime,
 		TransferTime: r.TransferTime,
 	}
+	m.cross(r.NoC)
+	return m
 }
 
 // Metrics summarises a streamed stencil run. TotalFlops counts only the
 // useful interior updates (GFLOPS is useful flops over elapsed time);
 // the redundant overlapped-halo work stays in RedundantFlops.
 func (r *StreamStencilResult) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Elapsed:    r.Elapsed,
 		TotalFlops: r.UsefulFlops,
 		GFLOPS:     r.GFLOPS,
 		PctPeak:    r.PctPeak,
 	}
+	m.cross(r.NoC)
+	return m
 }

@@ -153,6 +153,8 @@ type StencilResult struct {
 	// GroupCols*Cols cols) when cfg.Comm is set; for replicated runs it
 	// holds core (0,0)'s interior.
 	Global [][]float32
+	// NoC reports chip-boundary eLink traffic on multi-chip boards.
+	NoC NoCStats
 }
 
 // peakGFLOPS is 2 flops/cycle/core at the 600 MHz modelled clock.
@@ -443,6 +445,7 @@ func RunStencil(h *host.Host, cfg StencilConfig) (*StencilResult, error) {
 	res.TotalFlops = uint64(w.Size()) * uint64(cfg.Rows) * uint64(cfg.Cols) * 10 * uint64(cfg.Iters)
 	res.GFLOPS = float64(res.TotalFlops) / res.Elapsed.Nanoseconds()
 	res.PctPeak = 100 * res.GFLOPS / peakGFLOPS(w.Size())
+	res.NoC = captureNoC(h)
 	return res, nil
 }
 

@@ -93,6 +93,8 @@ type StreamStencilResult struct {
 	// DRAMBytes is the total traffic paged over the eLink.
 	DRAMBytes uint64
 	Global    [][]float32
+	// NoC reports chip-boundary eLink traffic on multi-chip boards.
+	NoC NoCStats
 }
 
 // streamComputeRate is the modelled compute cost for the generic-shape
@@ -163,6 +165,7 @@ func RunStreamStencil(h *host.Host, cfg StreamStencilConfig) (*StreamStencilResu
 	res.UsefulFlops = uint64(cfg.GlobalRows) * uint64(cfg.GlobalCols) * 10 * uint64(cfg.Iters)
 	res.GFLOPS = float64(res.UsefulFlops) / res.Elapsed.Nanoseconds()
 	res.PctPeak = 100 * res.GFLOPS / peakGFLOPS(w.Size())
+	res.NoC = captureNoC(h)
 	return res, nil
 }
 

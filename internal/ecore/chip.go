@@ -26,8 +26,22 @@ type Chip struct {
 // NewChip builds a rows x cols device (the Epiphany-IV is 8x8) attached
 // to eng, with a fresh 32 MB shared DRAM window.
 func NewChip(eng *sim.Engine, rows, cols int) *Chip {
-	amap := mem.NewMap(rows, cols)
+	return NewChipMap(eng, mem.NewMap(rows, cols))
+}
+
+// NewBoard builds a chipRows x chipCols board of coreRows x coreCols
+// chips whose eMeshes are glued through chip-to-chip eLinks into one
+// boundary-aware fabric sharing a flat address space and one DRAM
+// window. The kernel-level programming surface is identical to a single
+// chip's; only the routing costs differ.
+func NewBoard(eng *sim.Engine, chipRows, chipCols, coreRows, coreCols int) *Chip {
+	return NewChipMap(eng, mem.NewBoardMap(chipRows, chipCols, coreRows, coreCols))
+}
+
+// NewChipMap builds the device fabric for an explicit address map.
+func NewChipMap(eng *sim.Engine, amap *mem.Map) *Chip {
 	n := amap.NumCores()
+	rows, cols := amap.Rows, amap.Cols
 	fab := &dma.Fabric{
 		Eng:       eng,
 		Map:       amap,

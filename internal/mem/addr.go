@@ -100,23 +100,115 @@ type Target struct {
 	Off Addr
 }
 
-// Map describes the chip's address geometry: how many rows and columns of
-// cores, anchored at (FirstRow, FirstCol), plus the DRAM window.
+// Map describes the board's address geometry: how many rows and columns
+// of cores in total, anchored at (FirstRow, FirstCol), how those cores
+// are partitioned into chips, plus the DRAM window.
+//
+// A single-chip map has ChipRows == Rows and ChipCols == Cols. On a
+// multi-chip board the chips tile the mesh coordinate space contiguously
+// (each chip's eCoreID origin register is programmed so that neighbouring
+// chips are address-adjacent, exactly as real Parallella clusters glue
+// their eMeshes together through the chip-to-chip eLinks), so the global
+// address scheme stays a single flat (row<<6|col)<<20 space spanning
+// every chip on the board.
 type Map struct {
 	Rows, Cols int
+	// ChipRows, ChipCols are the per-chip core dimensions. Zero values
+	// (a Map literal from before boards existed) mean single-chip.
+	ChipRows, ChipCols int
 }
 
 // NewMap returns the address map for a rows x cols chip. The 64-core
 // Epiphany-IV is NewMap(8, 8).
 func NewMap(rows, cols int) *Map {
-	if rows <= 0 || cols <= 0 || rows > 64 || cols > 64 {
-		panic(fmt.Sprintf("mem: invalid chip geometry %dx%d", rows, cols))
+	return NewBoardMap(1, 1, rows, cols)
+}
+
+// NewBoardMap returns the address map for a board of chipRows x chipCols
+// chips, each coreRows x coreCols cores. The 2x2 Parallella cluster of
+// E16 chips is NewBoardMap(2, 2, 4, 4).
+func NewBoardMap(chipRows, chipCols, coreRows, coreCols int) *Map {
+	if chipRows <= 0 || chipCols <= 0 || coreRows <= 0 || coreCols <= 0 {
+		panic(fmt.Sprintf("mem: invalid board geometry %dx%d chips of %dx%d",
+			chipRows, chipCols, coreRows, coreCols))
 	}
-	return &Map{Rows: rows, Cols: cols}
+	rows, cols := chipRows*coreRows, chipCols*coreCols
+	if FirstRow+rows > 64 || FirstCol+cols > 64 {
+		panic(fmt.Sprintf("mem: %dx%d board does not fit the 64x64 mesh address space", rows, cols))
+	}
+	return &Map{Rows: rows, Cols: cols, ChipRows: coreRows, ChipCols: coreCols}
 }
 
 // NumCores returns the number of cores in the map.
 func (m *Map) NumCores() int { return m.Rows * m.Cols }
+
+// ChipDims returns the per-chip core dimensions, treating legacy
+// zero-valued fields as single-chip.
+func (m *Map) ChipDims() (rows, cols int) {
+	if m.ChipRows <= 0 || m.ChipCols <= 0 {
+		return m.Rows, m.Cols
+	}
+	return m.ChipRows, m.ChipCols
+}
+
+// ChipGrid returns how many chips the board has in each dimension.
+func (m *Map) ChipGrid() (rows, cols int) {
+	cr, cc := m.ChipDims()
+	return m.Rows / cr, m.Cols / cc
+}
+
+// NumChips returns the number of chips on the board.
+func (m *Map) NumChips() int {
+	r, c := m.ChipGrid()
+	return r * c
+}
+
+// ChipCoords returns which chip (chip-grid row and column) owns the core
+// with the given linear index.
+func (m *Map) ChipCoords(idx int) (chipRow, chipCol int) {
+	cr, cc := m.ChipDims()
+	r, c := m.CoreCoords(idx)
+	return r / cr, c / cc
+}
+
+// ChipOf returns the linear chip index owning the core.
+func (m *Map) ChipOf(idx int) int {
+	_, gc := m.ChipGrid()
+	r, c := m.ChipCoords(idx)
+	return r*gc + c
+}
+
+// SameChip reports whether two cores sit on the same physical chip (their
+// traffic never crosses a chip-to-chip eLink).
+func (m *Map) SameChip(a, b int) bool {
+	ar, ac := m.ChipCoords(a)
+	br, bc := m.ChipCoords(b)
+	return ar == br && ac == bc
+}
+
+// ChipCrossings returns how many chip boundaries the XY route from src to
+// dst crosses (column boundaries on the X leg plus row boundaries on the
+// Y leg).
+func (m *Map) ChipCrossings(src, dst int) int {
+	sr, sc := m.ChipCoords(src)
+	dr, dc := m.ChipCoords(dst)
+	dx, dy := sc-dc, sr-dr
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// ChipOriginID returns the architectural CoreID of chip (chipRow,
+// chipCol)'s core (0,0) - the value programmed into that chip's mesh
+// origin register so the board shares one flat address space.
+func (m *Map) ChipOriginID(chipRow, chipCol int) CoreID {
+	cr, cc := m.ChipDims()
+	return MakeCoreID(FirstRow+chipRow*cr, FirstCol+chipCol*cc)
+}
 
 // CoreIndex converts chip-relative (row, col) to the linear core index.
 func (m *Map) CoreIndex(row, col int) int {

@@ -1,0 +1,177 @@
+package noc
+
+import (
+	"testing"
+
+	"epiphany/internal/mem"
+	"epiphany/internal/sim"
+)
+
+// newBoardMesh builds the 2x2-cluster fabric: four 4x4 chips in an 8x8
+// mesh with chip boundaries after row 3 and column 3.
+func newBoardMesh() (*sim.Engine, *Mesh) {
+	eng := sim.NewEngine()
+	return eng, NewMesh(eng, mem.NewBoardMap(2, 2, 4, 4))
+}
+
+func TestBoardMapChipGeometry(t *testing.T) {
+	m := mem.NewBoardMap(2, 2, 4, 4)
+	if m.Rows != 8 || m.Cols != 8 || m.NumChips() != 4 {
+		t.Fatalf("board %dx%d/%d chips", m.Rows, m.Cols, m.NumChips())
+	}
+	idx := m.CoreIndex
+	if !m.SameChip(idx(0, 0), idx(3, 3)) {
+		t.Error("(0,0) and (3,3) are on the same chip")
+	}
+	if m.SameChip(idx(0, 3), idx(0, 4)) {
+		t.Error("(0,3) and (0,4) straddle the column boundary")
+	}
+	if got := m.ChipOf(idx(5, 6)); got != 3 {
+		t.Errorf("ChipOf(5,6) = %d, want 3", got)
+	}
+	if got := m.ChipCrossings(idx(0, 0), idx(7, 7)); got != 2 {
+		t.Errorf("corner-to-corner crossings = %d, want 2", got)
+	}
+	if got := m.ChipCrossings(idx(1, 1), idx(2, 2)); got != 0 {
+		t.Errorf("intra-chip crossings = %d, want 0", got)
+	}
+	// The chips' address origins tile the global mesh space contiguously.
+	if got := m.ChipOriginID(1, 1); got != mem.MakeCoreID(mem.FirstRow+4, mem.FirstCol+4) {
+		t.Errorf("chip (1,1) origin = %v", got)
+	}
+	// Addressing is unchanged: core (5,6)'s global window decodes back.
+	a := m.GlobalOf(idx(5, 6), 0x100)
+	tgt := m.Decode(0, a)
+	if tgt.Kind != mem.KindCore || tgt.Core != idx(5, 6) || tgt.Off != 0x100 {
+		t.Errorf("decode of cross-chip global address = %+v", tgt)
+	}
+}
+
+func TestBoardDeliverChargesCrossing(t *testing.T) {
+	_, m := newBoardMesh()
+	idx := m.Map().CoreIndex
+	n := 64
+	ser := LinkSerialization(n)
+	serX := C2CSerialization(n)
+
+	// Intra-chip delivery is priced exactly like a single-chip mesh.
+	if got := m.Deliver(0, idx(0, 0), idx(0, 3), n); got != 3*HopLatency+ser {
+		t.Fatalf("intra-chip arrival %v, want %v", got, 3*HopLatency+ser)
+	}
+	if m.Crossings() != 0 {
+		t.Fatalf("intra-chip delivery counted %d crossings", m.Crossings())
+	}
+
+	// One boundary hop: the message store-and-forwards over the
+	// chip-to-chip eLink at its slower rate plus the crossing latency.
+	got := m.Deliver(1000, idx(0, 3), idx(0, 4), n)
+	want := sim.Time(1000) + serX + C2CHopLatency + ser
+	if got != want {
+		t.Fatalf("boundary arrival %v, want %v", got, want)
+	}
+	if m.Crossings() != 1 || m.CrossBytes() != uint64(n) {
+		t.Fatalf("crossings=%d bytes=%d after one boundary hop", m.Crossings(), m.CrossBytes())
+	}
+	if m.CrossTime() != serX+C2CHopLatency {
+		t.Fatalf("CrossTime %v, want %v", m.CrossTime(), serX+C2CHopLatency)
+	}
+
+	// The crossing must dominate an equal-distance on-chip hop.
+	if onChip := HopLatency + ser; got-1000 <= onChip {
+		t.Fatalf("boundary hop (%v) not slower than on-chip hop (%v)", got-1000, onChip)
+	}
+}
+
+func TestBoardBoundaryLinkIsSharedPerChipEdge(t *testing.T) {
+	_, m := newBoardMesh()
+	idx := m.Map().CoreIndex
+	n := 1024
+
+	// Rows 0 and 1 cross the same west-chip/east-chip boundary within
+	// chip row 0: they share one eLink and must serialize.
+	a := m.Deliver(0, idx(0, 3), idx(0, 4), n)
+	b := m.Deliver(0, idx(1, 3), idx(1, 4), n)
+	if b <= a {
+		t.Fatalf("same-edge crossings did not contend: %v then %v", a, b)
+	}
+	if b-a < C2CSerialization(n) {
+		t.Fatalf("second crossing queued only %v, want >= one serialization %v", b-a, C2CSerialization(n))
+	}
+
+	// A crossing on the other chip row uses that boundary's own eLink.
+	c := m.Deliver(0, idx(4, 3), idx(4, 4), n)
+	if c != a {
+		t.Fatalf("independent chip edge contended: %v, want %v", c, a)
+	}
+}
+
+func TestBoardReadWordPaysCrossings(t *testing.T) {
+	_, m := newBoardMesh()
+	idx := m.Map().CoreIndex
+	intra := m.ReadWord(0, idx(0, 2), idx(0, 3))
+	cross := m.ReadWord(0, idx(0, 3), idx(0, 4))
+	if cross-intra != 2*C2CHopLatency {
+		t.Fatalf("boundary read adds %v, want a %v round trip", cross-intra, 2*C2CHopLatency)
+	}
+}
+
+func TestSingleChipMeshHasNoCrossings(t *testing.T) {
+	_, m := newTestMesh()
+	idx := m.Map().CoreIndex
+	m.Deliver(0, idx(0, 0), idx(7, 7), 512)
+	if m.Crossings() != 0 || m.CrossTime() != 0 {
+		t.Fatalf("single-chip mesh reported crossings=%d time=%v", m.Crossings(), m.CrossTime())
+	}
+}
+
+// deliverTrace drives a pseudo-random schedule of concurrent deliveries
+// over the board mesh (many spanning chip boundaries) and returns every
+// arrival time in completion order.
+func deliverTrace(seed uint64) []sim.Time {
+	eng, m := newBoardMesh()
+	rng := sim.NewRand(seed)
+	cores := m.Map().NumCores()
+	var arrivals []sim.Time
+	for p := 0; p < 16; p++ {
+		start := sim.Time(rng.Intn(100))
+		moves := 4 + rng.Intn(8)
+		src := rng.Intn(cores)
+		dsts := make([]int, moves)
+		sizes := make([]int, moves)
+		for i := range dsts {
+			dsts[i] = rng.Intn(cores)
+			sizes[i] = 8 * (1 + rng.Intn(64))
+		}
+		eng.SpawnAt(start, "router-proc", func(pr *sim.Proc) {
+			for i := 0; i < moves; i++ {
+				arrive := m.Deliver(pr.Now(), src, dsts[i], sizes[i])
+				pr.WaitUntil(arrive)
+				arrivals = append(arrivals, arrive)
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return arrivals
+}
+
+// FuzzBoardDeliverDeterminism: same seed + same spawn order => the
+// multi-chip router produces an identical event trace. The seed corpus
+// runs under plain `go test`; `go test -fuzz` explores further.
+func FuzzBoardDeliverDeterminism(f *testing.F) {
+	for _, s := range []uint64{1, 7, 42, 0xDEADBEEF, 1 << 40} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		a, b := deliverTrace(seed), deliverTrace(seed)
+		if len(a) != len(b) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	})
+}

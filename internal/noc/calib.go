@@ -69,7 +69,31 @@ const (
 	// the eLink/AXI path, matched to the paper's off-chip matmul analysis
 	// (512 KB block in ~3.4 ms => 150 MB/s).
 	HostBytePeriod sim.Time = 20
+
+	// Chip-to-chip eLink constants, for multi-chip boards whose eMeshes
+	// are glued together through the off-chip links (the Epiphany
+	// architecture's intended scaling path; each chip edge exposes one
+	// 8-bit 600 MHz eLink). A mesh hop that crosses a chip boundary
+	// leaves the 8-byte-per-cycle on-chip fabric for this far narrower
+	// serial link, and every row (or column) of the chip edge shares the
+	// one link through its merge arbiter.
+
+	// C2CBytePeriod is the chip-to-chip eLink serialization time per
+	// byte: the raw 600 MB/s link rate, one byte per core cycle (the
+	// write direction of a dedicated point-to-point link does not suffer
+	// the 4x DRAM-path derating of ELinkBytePeriod). 8x slower than an
+	// on-chip mesh link.
+	C2CBytePeriod sim.Time = sim.Cycle
+	// C2CHopLatency is the head latency of one chip-boundary crossing:
+	// off-chip drivers, resynchronization into the destination chip's
+	// clock domain and the boundary router, modelled at 12 core cycles.
+	C2CHopLatency sim.Time = 12 * sim.Cycle
 )
+
+// C2CSerialization returns the chip-to-chip eLink occupancy for n bytes.
+func C2CSerialization(n int) sim.Time {
+	return sim.Time(n) * C2CBytePeriod
+}
 
 // LinkSerialization returns the on-chip link occupancy for n bytes.
 func LinkSerialization(n int) sim.Time {

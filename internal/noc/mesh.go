@@ -22,20 +22,38 @@ func (d Dir) String() string {
 	return [...]string{"east", "west", "north", "south"}[d]
 }
 
-// Mesh is the on-chip eMesh: a rows x cols grid of routers with separate
-// physical links per direction. The Epiphany has three mesh networks
-// (on-chip write, off-chip write, read request); we model the on-chip
-// write network with per-link contention, the read network analytically
-// (the paper's codes avoid remote reads), and the off-chip write network
-// via the ELink arbiter.
+// link is one directed mesh edge: an on-chip wire, or - when it spans a
+// chip boundary on a multi-chip board - a share of the chip-to-chip
+// eLink crossing that boundary.
+type link struct {
+	res   *sim.Resource
+	cross bool
+}
+
+// Mesh is the eMesh fabric of one board: a rows x cols grid of routers
+// with separate physical links per direction. The Epiphany has three
+// mesh networks (on-chip write, off-chip write, read request); we model
+// the on-chip write network with per-link contention, the read network
+// analytically (the paper's codes avoid remote reads), and the off-chip
+// write network via the ELink arbiter.
+//
+// On a multi-chip board (mem.NewBoardMap) the grid spans every chip and
+// the router is chip-boundary aware: a hop between routers on different
+// chips leaves the wide on-chip fabric for the narrow chip-to-chip
+// eLink. All rows crossing the same vertical chip boundary within one
+// chip share a single eLink per direction (likewise columns across a
+// horizontal boundary), so boundary hops contend in the eLink's merge
+// arbiter, pay C2CHopLatency, and re-serialize the whole message at
+// C2CBytePeriod (the store-and-forward packetization of the off-chip
+// protocol, 8x slower than an on-chip link).
 type Mesh struct {
 	eng        *sim.Engine
 	amap       *mem.Map
 	rows, cols int
 	// h[r][c] is the link between router (r,c) and (r,c+1); h[r][c][0]
 	// carries eastbound traffic, [1] westbound. Similarly v for vertical.
-	h [][][2]*sim.Resource
-	v [][][2]*sim.Resource
+	h [][][2]link
+	v [][][2]link
 	// errata0 enables the E64G401 Errata #0 model: "Duplicate IO
 	// Transaction" makes instruction fetches and data reads from cores in
 	// (chip-relative) row 2 and column 2 issue twice, halving their read
@@ -44,25 +62,56 @@ type Mesh struct {
 	// stats
 	writes uint64
 	bytes  uint64
+	// chip-boundary crossing stats (all zero on a single-chip board)
+	crossings  uint64
+	crossBytes uint64
+	crossTime  sim.Time
 }
 
 // NewMesh builds the eMesh for the given address map.
 func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
 	m := &Mesh{eng: eng, amap: amap, rows: amap.Rows, cols: amap.Cols}
-	m.h = make([][][2]*sim.Resource, m.rows)
+	chipRows, chipCols := amap.ChipDims()
+	// Chip-to-chip eLinks are shared per chip edge: key by the boundary
+	// position and the chip-grid row (or column) on which the crossing
+	// happens, one resource pair per direction.
+	xlinks := make(map[string]*sim.Resource)
+	xlink := func(key string) *sim.Resource {
+		r, ok := xlinks[key]
+		if !ok {
+			r = sim.NewResource("c2c" + key)
+			xlinks[key] = r
+		}
+		return r
+	}
+	m.h = make([][][2]link, m.rows)
 	for r := 0; r < m.rows; r++ {
-		m.h[r] = make([][2]*sim.Resource, m.cols-1)
+		m.h[r] = make([][2]link, m.cols-1)
 		for c := 0; c < m.cols-1; c++ {
-			m.h[r][c][0] = sim.NewResource(fmt.Sprintf("link(%d,%d)e", r, c))
-			m.h[r][c][1] = sim.NewResource(fmt.Sprintf("link(%d,%d)w", r, c))
+			if (c+1)%chipCols == 0 {
+				// Vertical chip boundary after column c: every row of
+				// this chip row shares the boundary's eLink pair.
+				key := fmt.Sprintf("(%d,%d)", r/chipRows, c)
+				m.h[r][c][0] = link{xlink(key + "e"), true}
+				m.h[r][c][1] = link{xlink(key + "w"), true}
+			} else {
+				m.h[r][c][0] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)e", r, c)), false}
+				m.h[r][c][1] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)w", r, c)), false}
+			}
 		}
 	}
-	m.v = make([][][2]*sim.Resource, m.rows-1)
+	m.v = make([][][2]link, m.rows-1)
 	for r := 0; r < m.rows-1; r++ {
-		m.v[r] = make([][2]*sim.Resource, m.cols)
+		m.v[r] = make([][2]link, m.cols)
 		for c := 0; c < m.cols; c++ {
-			m.v[r][c][0] = sim.NewResource(fmt.Sprintf("link(%d,%d)s", r, c))
-			m.v[r][c][1] = sim.NewResource(fmt.Sprintf("link(%d,%d)n", r, c))
+			if (r+1)%chipRows == 0 {
+				key := fmt.Sprintf("(%d,%d)", r, c/chipCols)
+				m.v[r][c][0] = link{xlink(key + "s"), true}
+				m.v[r][c][1] = link{xlink(key + "n"), true}
+			} else {
+				m.v[r][c][0] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)s", r, c)), false}
+				m.v[r][c][1] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)n", r, c)), false}
+			}
 		}
 	}
 	return m
@@ -93,7 +142,7 @@ func abs(x int) int {
 
 // path invokes fn for every directed link on the X-then-Y route from src
 // to dst, in traversal order.
-func (m *Mesh) path(src, dst int, fn func(*sim.Resource)) {
+func (m *Mesh) path(src, dst int, fn func(link)) {
 	sr, sc := m.amap.CoreCoords(src)
 	dr, dc := m.amap.CoreCoords(dst)
 	for c := sc; c < dc; c++ {
@@ -119,6 +168,12 @@ func (m *Mesh) path(src, dst int, fn func(*sim.Resource)) {
 // Deliver does not charge the sender's CPU or DMA pacing; callers add
 // their own issue costs (DirectWriteWordPeriod, DMASerialization, ...) and
 // pass the max of the two serialization models as arrival when needed.
+//
+// Hops that cross a chip boundary leave the cut-through regime: the
+// chip-to-chip eLink store-and-forwards the message at its own (much
+// slower) serialization rate, after waiting for the shared link and
+// paying the off-chip C2CHopLatency. The extra time spent on boundary
+// crossings is accumulated in CrossTime.
 func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 	m.writes++
 	m.bytes += uint64(n)
@@ -126,13 +181,35 @@ func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 		return t
 	}
 	ser := LinkSerialization(n)
+	serX := C2CSerialization(n)
 	cur := t
-	m.path(src, dst, func(link *sim.Resource) {
-		begin, _ := link.Use(cur, ser)
+	m.path(src, dst, func(lk link) {
+		if lk.cross {
+			begin, _ := lk.res.Use(cur, serX)
+			next := begin + serX + C2CHopLatency
+			m.crossings++
+			m.crossBytes += uint64(n)
+			m.crossTime += next - cur
+			cur = next
+			return
+		}
+		begin, _ := lk.res.Use(cur, ser)
 		cur = begin + HopLatency
 	})
 	return cur + ser
 }
+
+// Crossings returns how many chip-boundary eLink hops Deliver has routed
+// (zero on a single-chip board).
+func (m *Mesh) Crossings() uint64 { return m.crossings }
+
+// CrossBytes returns the total bytes carried over chip-to-chip eLinks.
+func (m *Mesh) CrossBytes() uint64 { return m.crossBytes }
+
+// CrossTime returns the accumulated time messages spent traversing chip
+// boundaries (arbitration waits, off-chip serialization and crossing
+// latency), summed over deliveries.
+func (m *Mesh) CrossTime() sim.Time { return m.crossTime }
 
 // SetErrata0 toggles the Errata #0 duplicate-read model (off by default;
 // the paper's benchmarks avoid the affected paths, as do ours).
@@ -142,20 +219,27 @@ func (m *Mesh) SetErrata0(on bool) { m.errata0 = on }
 func (m *Mesh) Errata0() bool { return m.errata0 }
 
 // errata0Hits reports whether a read issued by core src duplicates under
-// Errata #0 (the issuing core sits in row 2 or column 2).
+// Errata #0 (the issuing core sits in chip-relative row 2 or column 2;
+// on a multi-chip board the erratum is per chip).
 func (m *Mesh) errata0Hits(src int) bool {
 	if !m.errata0 {
 		return false
 	}
+	chipRows, chipCols := m.amap.ChipDims()
 	r, c := m.amap.CoreCoords(src)
-	return r == 2 || c == 2
+	return r%chipRows == 2 || c%chipCols == 2
 }
 
 // ReadWord models a single remote 32-bit load from src's CPU to dst's
-// memory: a full request/response round trip on the read network.
+// memory: a full request/response round trip on the read network. Each
+// chip boundary on the route adds a round trip over the chip-to-chip
+// eLink's crossing latency.
 func (m *Mesh) ReadWord(t sim.Time, src, dst int) (done sim.Time) {
 	hops := sim.Time(m.Distance(src, dst))
 	cost := ReadWordRoundTrip + 2*hops*HopLatency
+	if x := m.amap.ChipCrossings(src, dst); x > 0 {
+		cost += 2 * sim.Time(x) * C2CHopLatency
+	}
 	if m.errata0Hits(src) {
 		cost *= 2 // the transaction issues twice
 	}
@@ -173,12 +257,12 @@ func (m *Mesh) Bytes() uint64 { return m.bytes }
 func (m *Mesh) LinkUtilization(r, c int, d Dir, now sim.Time) float64 {
 	switch d {
 	case East:
-		return m.h[r][c][0].Utilization(now)
+		return m.h[r][c][0].res.Utilization(now)
 	case West:
-		return m.h[r][c-1][1].Utilization(now)
+		return m.h[r][c-1][1].res.Utilization(now)
 	case South:
-		return m.v[r][c][0].Utilization(now)
+		return m.v[r][c][0].res.Utilization(now)
 	default:
-		return m.v[r-1][c][1].Utilization(now)
+		return m.v[r-1][c][1].res.Utilization(now)
 	}
 }

@@ -136,6 +136,67 @@ func TestCondIsNotALatch(t *testing.T) {
 	}
 }
 
+// engineTrace runs a pseudo-random mix of procs, timer callbacks and
+// resource contention derived from seed and returns the full event
+// trace (proc id, virtual time) in execution order.
+func engineTrace(seed uint64) []Time {
+	rng := NewRand(seed)
+	e := NewEngine()
+	res := []*Resource{NewResource("a"), NewResource("b"), NewResource("c")}
+	var trace []Time
+	record := func(id int) { trace = append(trace, Time(id)<<32|e.Now()) }
+	nProcs := 4 + rng.Intn(12)
+	for p := 0; p < nProcs; p++ {
+		p := p
+		steps := 1 + rng.Intn(6)
+		waits := make([]Time, steps)
+		uses := make([]int, steps)
+		durs := make([]Time, steps)
+		for i := 0; i < steps; i++ {
+			waits[i] = Time(rng.Intn(50))
+			uses[i] = rng.Intn(len(res))
+			durs[i] = Time(1 + rng.Intn(20))
+		}
+		e.SpawnAt(Time(rng.Intn(30)), "p", func(pr *Proc) {
+			for i := 0; i < steps; i++ {
+				pr.Wait(waits[i])
+				_, end := res[uses[i]].Use(pr.Now(), durs[i])
+				pr.WaitUntil(end)
+				record(p)
+			}
+		})
+	}
+	nTimers := rng.Intn(10)
+	for i := 0; i < nTimers; i++ {
+		id := 100 + i
+		e.At(Time(rng.Intn(200)), func() { record(id) })
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	return trace
+}
+
+// FuzzEngineOrderingDeterminism: same seed + same spawn order => an
+// identical event trace, the property every multi-chip simulation rests
+// on. The corpus seeds run under plain `go test`.
+func FuzzEngineOrderingDeterminism(f *testing.F) {
+	for _, s := range []uint64{0, 1, 3, 1234, 1 << 33} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		a, b := engineTrace(seed), engineTrace(seed)
+		if len(a) != len(b) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("event %d differs: %#x vs %#x", i, a[i], b[i])
+			}
+		}
+	})
+}
+
 func TestEngineManyProcsDeterministicTrace(t *testing.T) {
 	run := func() []int {
 		e := NewEngine()

@@ -30,11 +30,21 @@ type System struct {
 // New builds the standard 8x8 Epiphany-IV system.
 func New() *System { return NewSize(8, 8) }
 
-// NewSize builds a rows x cols device (for studying smaller or
-// hypothetical larger meshes; the paper's device is 8x8).
+// NewSize builds a rows x cols single-chip device (for studying smaller
+// or hypothetical larger meshes; the paper's device is 8x8).
 func NewSize(rows, cols int) *System {
+	return NewTopology(SingleChip(rows, cols))
+}
+
+// NewTopology builds a system on the given fabric topology: a single
+// chip, or a board of chips glued through chip-to-chip eLinks. Invalid
+// geometries panic; call t.Validate first to get an error instead.
+func NewTopology(t Topology) *System {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
 	eng := sim.NewEngine()
-	chip := ecore.NewChip(eng, rows, cols)
+	chip := ecore.NewBoard(eng, t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
 	return &System{eng: eng, chip: chip, host: host.New(chip)}
 }
 

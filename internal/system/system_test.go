@@ -1,0 +1,151 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"epiphany/internal/core"
+)
+
+func tinyStencil() core.StencilConfig {
+	return core.StencilConfig{
+		Rows: 4, Cols: 4, Iters: 2, GroupRows: 2, GroupCols: 2,
+		Comm: true, Seed: 9,
+	}
+}
+
+func TestAcquireRefusesReuse(t *testing.T) {
+	s := New()
+	if err := s.Acquire(); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	err := s.Acquire()
+	if err == nil {
+		t.Fatal("second Acquire on the same System succeeded")
+	}
+	if !strings.Contains(err.Error(), "one experiment") {
+		t.Fatalf("reuse error %q does not explain the single-use contract", err)
+	}
+}
+
+func TestDeprecatedShimsDelegateAndAcquire(t *testing.T) {
+	// Each shim must produce the exact result the workload path produces
+	// on a fresh board, and must consume the System.
+	direct, err := core.RunStencil(New().Host(), tinyStencil())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New()
+	shim, err := sys.RunStencil(tinyStencil())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shim.Elapsed != direct.Elapsed || shim.GFLOPS != direct.GFLOPS {
+		t.Fatalf("shim result %v/%v differs from core.RunStencil %v/%v",
+			shim.Elapsed, shim.GFLOPS, direct.Elapsed, direct.GFLOPS)
+	}
+	if _, err := sys.RunStencil(tinyStencil()); err == nil {
+		t.Fatal("second run on a used System succeeded")
+	}
+
+	mcfg := core.MatmulConfig{M: 16, N: 16, K: 16, G: 2, Verify: true, Seed: 3}
+	mdirect, err := core.RunMatmul(New().Host(), mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msys := New()
+	mshim, err := msys.RunMatmul(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mshim.Elapsed != mdirect.Elapsed {
+		t.Fatalf("matmul shim elapsed %v, want %v", mshim.Elapsed, mdirect.Elapsed)
+	}
+	if _, err := msys.RunMatmul(mcfg); err == nil {
+		t.Fatal("matmul shim reused a System")
+	}
+
+	scfg := core.StreamStencilConfig{
+		GlobalRows: 32, GlobalCols: 32, BlockRows: 8, BlockCols: 8,
+		Iters: 2, TBlock: 1, GroupRows: 2, GroupCols: 2, Seed: 5,
+	}
+	sdirect, err := core.RunStreamStencil(New().Host(), scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssys := New()
+	sshim, err := ssys.RunStreamStencil(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sshim.Elapsed != sdirect.Elapsed {
+		t.Fatalf("stream shim elapsed %v, want %v", sshim.Elapsed, sdirect.Elapsed)
+	}
+	if _, err := ssys.RunStreamStencil(scfg); err == nil {
+		t.Fatal("stream shim reused a System")
+	}
+}
+
+func TestShimsRefuseInvalidConfigs(t *testing.T) {
+	s := New()
+	if _, err := s.RunStencil(core.StencilConfig{}); err == nil {
+		t.Fatal("zero stencil config accepted")
+	}
+}
+
+func TestNewTopologyGeometry(t *testing.T) {
+	cases := []struct {
+		topo              Topology
+		rows, cols, chips int
+	}{
+		{E16, 4, 4, 1},
+		{E64, 8, 8, 1},
+		{Cluster2x2, 8, 8, 4},
+		{SingleChip(2, 3), 2, 3, 1},
+	}
+	for _, c := range cases {
+		s := NewTopology(c.topo)
+		m := s.Chip().Map()
+		if m.Rows != c.rows || m.Cols != c.cols || m.NumChips() != c.chips {
+			t.Errorf("%v: board %dx%d/%d chips, want %dx%d/%d",
+				c.topo, m.Rows, m.Cols, m.NumChips(), c.rows, c.cols, c.chips)
+		}
+		if s.Engine() == nil || s.Host() == nil {
+			t.Errorf("%v: missing engine or host", c.topo)
+		}
+	}
+}
+
+func TestTopologyValidateAndLookup(t *testing.T) {
+	if err := (Topology{}).Validate(); err == nil {
+		t.Error("zero topology validated")
+	}
+	if err := (Topology{ChipGridRows: 8, ChipGridCols: 1, CoreRows: 8, CoreCols: 8}).Validate(); err == nil {
+		t.Error("64-row board fits nowhere in the 64x64 space at origin 32")
+	}
+	for _, want := range []string{"e16", "e64", "cluster-2x2"} {
+		got, ok := TopologyByName(want)
+		if !ok || got.Name != want {
+			t.Errorf("TopologyByName(%q) = %v, %v", want, got, ok)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", want, err)
+		}
+	}
+	if _, ok := TopologyByName("e9000"); ok {
+		t.Error("unknown topology resolved")
+	}
+	if !Cluster2x2.MultiChip() || E64.MultiChip() {
+		t.Error("MultiChip misclassifies the presets")
+	}
+}
+
+func TestNewWorkgroupSpansChips(t *testing.T) {
+	s := NewTopology(Cluster2x2)
+	if _, err := s.NewWorkgroup(0, 0, 8, 8); err != nil {
+		t.Fatalf("board-spanning workgroup refused: %v", err)
+	}
+	if _, err := s.NewWorkgroup(0, 0, 9, 8); err == nil {
+		t.Fatal("workgroup larger than the board accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package system
+
+import (
+	"fmt"
+
+	"epiphany/internal/mem"
+)
+
+// Topology describes the simulated fabric a System is built on: a board
+// of ChipGridRows x ChipGridCols Epiphany chips, each CoreRows x
+// CoreCols cores, glued into one mesh through chip-to-chip eLinks. A
+// 1x1 chip grid is an ordinary single-chip device; larger grids model
+// multi-board setups such as Parallella clusters, where hops that cross
+// a chip boundary pay the off-chip eLink's lower bandwidth and share it
+// through its merge arbiter.
+type Topology struct {
+	// Name identifies the topology in listings and options ("e64",
+	// "cluster-2x2", ...). Ad-hoc topologies may leave it empty.
+	Name string
+	// ChipGridRows, ChipGridCols are the chips on the board.
+	ChipGridRows, ChipGridCols int
+	// CoreRows, CoreCols are the cores per chip.
+	CoreRows, CoreCols int
+}
+
+// Preset topologies. E64 is the paper's device and the default
+// everywhere a topology is not given.
+var (
+	// E16 is a single Epiphany-III E16G301: one 4x4 chip.
+	E16 = Topology{Name: "e16", ChipGridRows: 1, ChipGridCols: 1, CoreRows: 4, CoreCols: 4}
+	// E64 is a single Epiphany-IV E64G401: one 8x8 chip (the default).
+	E64 = Topology{Name: "e64", ChipGridRows: 1, ChipGridCols: 1, CoreRows: 8, CoreCols: 8}
+	// Cluster2x2 is a 2x2 cluster of Parallella boards (one E16 each):
+	// four 4x4 chips forming an 8x8 core mesh with chip-to-chip eLink
+	// boundaries after row 3 and column 3.
+	Cluster2x2 = Topology{Name: "cluster-2x2", ChipGridRows: 2, ChipGridCols: 2, CoreRows: 4, CoreCols: 4}
+)
+
+// SingleChip returns the topology of one rows x cols chip.
+func SingleChip(rows, cols int) Topology {
+	return Topology{ChipGridRows: 1, ChipGridCols: 1, CoreRows: rows, CoreCols: cols}
+}
+
+// Topologies lists the preset topologies in scaling order.
+func Topologies() []Topology { return []Topology{E16, E64, Cluster2x2} }
+
+// TopologyByName looks up a preset topology.
+func TopologyByName(name string) (Topology, bool) {
+	for _, t := range Topologies() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Topology{}, false
+}
+
+// Rows returns the total core rows of the board mesh.
+func (t Topology) Rows() int { return t.ChipGridRows * t.CoreRows }
+
+// Cols returns the total core columns of the board mesh.
+func (t Topology) Cols() int { return t.ChipGridCols * t.CoreCols }
+
+// NumChips returns the chips on the board.
+func (t Topology) NumChips() int { return t.ChipGridRows * t.ChipGridCols }
+
+// NumCores returns the total core count.
+func (t Topology) NumCores() int { return t.Rows() * t.Cols() }
+
+// MultiChip reports whether any mesh route can cross a chip boundary.
+func (t Topology) MultiChip() bool { return t.NumChips() > 1 }
+
+// String renders the geometry for listings.
+func (t Topology) String() string {
+	name := t.Name
+	if name == "" {
+		name = "custom"
+	}
+	if !t.MultiChip() {
+		return fmt.Sprintf("%s: 1 chip, %dx%d cores", name, t.CoreRows, t.CoreCols)
+	}
+	return fmt.Sprintf("%s: %dx%d chips of %dx%d cores (%dx%d mesh)",
+		name, t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols, t.Rows(), t.Cols())
+}
+
+// Validate checks the geometry without building a board.
+func (t Topology) Validate() error {
+	if t.ChipGridRows <= 0 || t.ChipGridCols <= 0 || t.CoreRows <= 0 || t.CoreCols <= 0 {
+		return fmt.Errorf("epiphany: invalid topology %dx%d chips of %dx%d cores",
+			t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
+	}
+	if mem.FirstRow+t.Rows() > 64 || mem.FirstCol+t.Cols() > 64 {
+		return fmt.Errorf("epiphany: %dx%d board does not fit the 64x64 mesh address space at origin (%d,%d)",
+			t.Rows(), t.Cols(), mem.FirstRow, mem.FirstCol)
+	}
+	return nil
+}

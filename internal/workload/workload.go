@@ -55,20 +55,41 @@ type Reseeder interface {
 	Reseed(seed uint64) Workload
 }
 
+// TopologyFitter is implemented by workloads that can adapt their
+// workgroup shape to the device they are handed, so one registered
+// preset runs unchanged on every topology from a 4x4 E16 to a
+// multi-chip cluster. FitTopology returns a copy resized for a rows x
+// cols core mesh (or the receiver when it already fits); the built-ins
+// all implement it.
+type TopologyFitter interface {
+	Workload
+	FitTopology(rows, cols int) Workload
+}
+
 // runConfig collects the option-settable knobs for one run.
 type runConfig struct {
-	rows, cols int
-	seed       *uint64
-	trace      io.Writer
+	topo  system.Topology
+	seed  *uint64
+	trace io.Writer
 }
 
 // Option configures how Run (and Runner) executes a workload.
 type Option func(*runConfig)
 
-// WithMeshSize runs the workload on a rows x cols device instead of the
-// default 8x8 Epiphany-IV mesh.
+// WithMeshSize runs the workload on a rows x cols single-chip device
+// instead of the default 8x8 Epiphany-IV mesh.
 func WithMeshSize(rows, cols int) Option {
-	return func(rc *runConfig) { rc.rows, rc.cols = rows, cols }
+	return func(rc *runConfig) { rc.topo = system.SingleChip(rows, cols) }
+}
+
+// WithTopology runs the workload on the given fabric topology - a
+// preset (system.E16, system.E64, system.Cluster2x2) or a custom board
+// of chips. Workloads implementing TopologyFitter adapt their workgroup
+// shape to the board; on multi-chip boards, traffic crossing chip
+// boundaries pays the chip-to-chip eLink costs, reported in
+// Metrics.ELinkCrossTime.
+func WithTopology(t system.Topology) Option {
+	return func(rc *runConfig) { rc.topo = t }
 }
 
 // WithSeed rebases the workload's deterministic inputs onto seed. The
@@ -89,9 +110,12 @@ func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
 	if w == nil {
 		return nil, fmt.Errorf("epiphany: Run of nil workload")
 	}
-	rc := runConfig{rows: 8, cols: 8}
+	rc := runConfig{topo: system.E64}
 	for _, o := range opts {
 		o(&rc)
+	}
+	if err := rc.topo.Validate(); err != nil {
+		return nil, err
 	}
 	if rc.seed != nil {
 		r, ok := w.(Reseeder)
@@ -100,13 +124,16 @@ func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
 		}
 		w = r.Reseed(*rc.seed)
 	}
+	if f, ok := w.(TopologyFitter); ok {
+		w = f.FitTopology(rc.topo.Rows(), rc.topo.Cols())
+	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sys := system.NewSize(rc.rows, rc.cols)
+	sys := system.NewTopology(rc.topo)
 	res, err := w.Run(ctx, sys)
 	if err != nil {
 		return nil, err

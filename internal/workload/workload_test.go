@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"epiphany/internal/core"
+	"epiphany/internal/system"
+)
+
+// probe is a minimal workload that records the geometry of the board it
+// was handed and the seed it was rebased onto.
+type probe struct {
+	name  string
+	seed  uint64
+	rows  *int
+	cols  *int
+	chips *int
+}
+
+func (p *probe) Name() string    { return p.name }
+func (p *probe) Validate() error { return nil }
+func (p *probe) Reseed(seed uint64) Workload {
+	c := *p
+	c.seed = seed
+	return &c
+}
+func (p *probe) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	m := sys.Chip().Map()
+	if p.rows != nil {
+		*p.rows, *p.cols, *p.chips = m.Rows, m.Cols, m.NumChips()
+	}
+	return fixedResult{}, nil
+}
+
+type fixedResult struct{}
+
+func (fixedResult) Metrics() Metrics { return Metrics{} }
+
+func TestRegisterRejectsNilUnnamedAndDuplicates(t *testing.T) {
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil", func() { Register(nil) })
+	mustPanic("unnamed", func() { Register(&probe{}) })
+	Register(&probe{name: "test-dup-probe"})
+	mustPanic("duplicate", func() { Register(&probe{name: "test-dup-probe"}) })
+}
+
+func TestRegistryLookupAndOrdering(t *testing.T) {
+	if _, ok := ByName("stencil-tuned"); !ok {
+		t.Fatal("built-in stencil-tuned not registered")
+	}
+	if _, ok := ByName("no-such-workload"); ok {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+	all := All()
+	if len(all) < len(builtins) {
+		t.Fatalf("All returned %d workloads, want >= %d built-ins", len(all), len(builtins))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name() >= all[i].Name() {
+			t.Fatalf("All not sorted: %q before %q", all[i-1].Name(), all[i].Name())
+		}
+	}
+}
+
+func TestRunValidateFailures(t *testing.T) {
+	cases := []struct {
+		label string
+		w     Workload
+	}{
+		{"negative stencil rows", &Stencil{Config: core.StencilConfig{
+			Rows: -1, Cols: 20, Iters: 1, GroupRows: 1, GroupCols: 1}}},
+		{"untiled tuned cols", &Stencil{Config: core.StencilConfig{
+			Rows: 20, Cols: 19, Iters: 1, GroupRows: 1, GroupCols: 1, Tuned: true}}},
+		{"bad matmul group edge", &Matmul{Config: core.MatmulConfig{
+			M: 64, N: 64, K: 64, G: 3}}},
+		{"off-chip SUMMA", &Matmul{Config: core.MatmulConfig{
+			M: 64, N: 64, K: 64, G: 4, OffChip: true, Algorithm: "summa"}}},
+		{"untileable stream grid", &StreamStencil{Config: core.StreamStencilConfig{
+			GlobalRows: 100, GlobalCols: 100, BlockRows: 16, BlockCols: 16,
+			Iters: 1, TBlock: 1, GroupRows: 1, GroupCols: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := Run(context.Background(), c.w); err == nil {
+			t.Errorf("%s: Run succeeded, want validation error", c.label)
+		}
+	}
+	if _, err := Run(context.Background(), nil); err == nil {
+		t.Error("Run of nil workload succeeded")
+	}
+}
+
+func TestRunOptionPlumbing(t *testing.T) {
+	var rows, cols, chips int
+	p := &probe{name: "opt-probe", rows: &rows, cols: &cols, chips: &chips}
+
+	if _, err := Run(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 8 || cols != 8 || chips != 1 {
+		t.Fatalf("default board %dx%d/%d chips, want 8x8/1", rows, cols, chips)
+	}
+
+	if _, err := Run(context.Background(), p, WithMeshSize(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 || cols != 3 || chips != 1 {
+		t.Fatalf("WithMeshSize board %dx%d/%d chips, want 2x3/1", rows, cols, chips)
+	}
+
+	if _, err := Run(context.Background(), p, WithTopology(system.Cluster2x2)); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 8 || cols != 8 || chips != 4 {
+		t.Fatalf("cluster board %dx%d/%d chips, want 8x8/4", rows, cols, chips)
+	}
+
+	if _, err := Run(context.Background(), p, WithTopology(system.Topology{})); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+
+	// WithSeed rebases via Reseeder without mutating the original.
+	got := make(chan uint64, 1)
+	seeded := &seedProbe{probe: probe{name: "seed-probe"}, got: got}
+	if _, err := Run(context.Background(), seeded, WithSeed(42)); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-got; s != 42 {
+		t.Fatalf("workload ran with seed %d, want 42", s)
+	}
+	if seeded.seed != 0 {
+		t.Fatal("WithSeed mutated the registered workload")
+	}
+
+	// WithSeed on a non-Reseeder is refused.
+	if _, err := Run(context.Background(), nonReseeder{}, WithSeed(1)); err == nil {
+		t.Fatal("WithSeed on a non-Reseeder succeeded")
+	}
+
+	// WithTrace emits the heatmaps after a real run.
+	var buf bytes.Buffer
+	w := &Stencil{Config: core.StencilConfig{
+		Rows: 4, Cols: 4, Iters: 1, GroupRows: 1, GroupCols: 1, Seed: 1}}
+	if _, err := Run(context.Background(), w, WithTrace(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("WithTrace wrote nothing")
+	}
+}
+
+type seedProbe struct {
+	probe
+	got chan uint64
+}
+
+func (s *seedProbe) Reseed(seed uint64) Workload {
+	c := *s
+	c.seed = seed
+	return &c
+}
+
+func (s *seedProbe) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	s.got <- s.seed
+	return fixedResult{}, nil
+}
+
+type nonReseeder struct{}
+
+func (nonReseeder) Name() string    { return "non-reseeder" }
+func (nonReseeder) Validate() error { return nil }
+func (nonReseeder) Run(ctx context.Context, sys *system.System) (Result, error) {
+	return fixedResult{}, nil
+}
+
+func TestFitTopologyClampsBuiltins(t *testing.T) {
+	st := &Stencil{Config: core.StencilConfig{
+		Rows: 40, Cols: 20, Iters: 1, GroupRows: 8, GroupCols: 8}}
+	if got := st.FitTopology(8, 8); got != Workload(st) {
+		t.Fatal("stencil fit of an already-fitting group must return the receiver")
+	}
+	fit := st.FitTopology(4, 4).(*Stencil)
+	if fit.Config.GroupRows != 4 || fit.Config.GroupCols != 4 {
+		t.Fatalf("stencil fit to 4x4 got %dx%d group", fit.Config.GroupRows, fit.Config.GroupCols)
+	}
+	if st.Config.GroupRows != 8 {
+		t.Fatal("fit mutated the original stencil workload")
+	}
+
+	mm := &Matmul{Config: core.MatmulConfig{M: 128, N: 128, K: 128, G: 8, OffChip: true}}
+	mfit := mm.FitTopology(4, 4).(*Matmul)
+	if mfit.Config.G != 4 {
+		t.Fatalf("matmul fit to 4x4 got G=%d, want 4", mfit.Config.G)
+	}
+	if mm.FitTopology(8, 8) != Workload(mm) {
+		t.Fatal("matmul fit of a fitting group must return the receiver")
+	}
+
+	ss := &StreamStencil{Config: core.StreamStencilConfig{
+		GlobalRows: 128, GlobalCols: 128, BlockRows: 16, BlockCols: 16,
+		Iters: 1, TBlock: 1, GroupRows: 8, GroupCols: 8}}
+	sfit := ss.FitTopology(4, 4).(*StreamStencil)
+	if sfit.Config.GroupRows != 4 || sfit.Config.GroupCols != 4 {
+		t.Fatalf("stream fit to 4x4 got %dx%d group", sfit.Config.GroupRows, sfit.Config.GroupCols)
+	}
+	if err := sfit.Validate(); err != nil {
+		t.Fatalf("fitted stream stencil invalid: %v", err)
+	}
+}
+
+// Every registered workload must run on every preset topology - the
+// contract the conformance harness pins numerically at the repo root.
+func TestBuiltinsRunOnEveryTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry x topology sweep")
+	}
+	for _, topo := range system.Topologies() {
+		for _, w := range builtins {
+			res, err := Run(context.Background(), w, WithTopology(topo))
+			if err != nil {
+				t.Errorf("%s on %s: %v", w.Name(), topo.Name, err)
+				continue
+			}
+			if m := res.Metrics(); m.GFLOPS <= 0 {
+				t.Errorf("%s on %s: GFLOPS = %v", w.Name(), topo.Name, m.GFLOPS)
+			}
+			if !topo.MultiChip() && res.Metrics().ELinkCrossings != 0 {
+				t.Errorf("%s on %s: crossings on a single chip", w.Name(), topo.Name)
+			}
+		}
+	}
+}
+
+func TestRunnerCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 8
+	jobs := make([]Job, n)
+	jobs[0] = Job{Workload: &canceller{cancel: cancel}}
+	for i := 1; i < n; i++ {
+		jobs[i] = Job{Workload: &probe{name: fmt.Sprintf("late-%d", i)}}
+	}
+	r := &Runner{Workers: 1}
+	batch, err := r.RunBatch(ctx, jobs)
+	if err != context.Canceled {
+		t.Fatalf("RunBatch error = %v, want context.Canceled", err)
+	}
+	if batch.Results[0].Err != nil {
+		t.Fatalf("in-flight job aborted: %v", batch.Results[0].Err)
+	}
+	for i := 1; i < n; i++ {
+		jr := batch.Results[i]
+		if jr.Err == nil {
+			t.Fatalf("job %d ran to completion after cancellation", i)
+		}
+		if jr.Name == "" {
+			t.Fatalf("job %d lost its workload name", i)
+		}
+		if !strings.Contains(jr.Err.Error(), context.Canceled.Error()) {
+			t.Fatalf("job %d error = %v, want context.Canceled", i, jr.Err)
+		}
+	}
+	if batch.Err() == nil {
+		t.Fatal("batch with cancelled jobs reports no error")
+	}
+}
+
+// canceller cancels the batch context from inside its own run, then
+// completes normally - the in-flight simulation is never aborted.
+type canceller struct {
+	cancel context.CancelFunc
+}
+
+func (c *canceller) Name() string    { return "canceller" }
+func (c *canceller) Validate() error { return nil }
+func (c *canceller) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	c.cancel()
+	return fixedResult{}, nil
+}

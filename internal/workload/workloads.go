@@ -38,6 +38,19 @@ func (s *Stencil) Reseed(seed uint64) Workload {
 	return &c
 }
 
+// FitTopology implements TopologyFitter by clamping the workgroup to
+// the board's core mesh (the per-core grid is unchanged, so a smaller
+// board simply solves a smaller global problem).
+func (s *Stencil) FitTopology(rows, cols int) Workload {
+	gr, gc := min(s.Config.GroupRows, rows), min(s.Config.GroupCols, cols)
+	if gr == s.Config.GroupRows && gc == s.Config.GroupCols {
+		return s
+	}
+	c := *s
+	c.Config.GroupRows, c.Config.GroupCols = gr, gc
+	return &c
+}
+
 // Run implements Workload.
 func (s *Stencil) Run(ctx context.Context, sys *system.System) (Result, error) {
 	if err := ctx.Err(); err != nil {
@@ -79,6 +92,27 @@ func (m *Matmul) Reseed(seed uint64) Workload {
 	return &c
 }
 
+// FitTopology implements TopologyFitter: the square Cannon/SUMMA torus
+// is shrunk to the largest valid workgroup edge that fits the board
+// (the problem size is unchanged; per-core blocks grow instead).
+func (m *Matmul) FitTopology(rows, cols int) Workload {
+	edge := min(rows, cols)
+	if m.Config.G <= edge {
+		return m
+	}
+	c := *m
+	for _, g := range []int{8, 4, 2, 1} {
+		if g > edge {
+			continue
+		}
+		c.Config.G = g
+		if c.Config.Validate() == nil {
+			return &c
+		}
+	}
+	return m // nothing fits; let Validate report the original error
+}
+
 // Run implements Workload.
 func (m *Matmul) Run(ctx context.Context, sys *system.System) (Result, error) {
 	if err := ctx.Err(); err != nil {
@@ -117,6 +151,28 @@ func (s *StreamStencil) Validate() error { return s.Config.Validate() }
 func (s *StreamStencil) Reseed(seed uint64) Workload {
 	c := *s
 	c.Config.Seed = seed
+	return &c
+}
+
+// FitTopology implements TopologyFitter by clamping the paging
+// workgroup to the board while keeping the global grid tileable: each
+// group dimension shrinks to the largest size that both fits and
+// divides the corresponding super-block count.
+func (s *StreamStencil) FitTopology(rows, cols int) Workload {
+	fit := func(group, limit, global, block int) int {
+		g := min(group, limit)
+		for g > 1 && global%(g*block) != 0 {
+			g--
+		}
+		return g
+	}
+	gr := fit(s.Config.GroupRows, rows, s.Config.GlobalRows, s.Config.BlockRows)
+	gc := fit(s.Config.GroupCols, cols, s.Config.GlobalCols, s.Config.BlockCols)
+	if gr == s.Config.GroupRows && gc == s.Config.GroupCols {
+		return s
+	}
+	c := *s
+	c.Config.GroupRows, c.Config.GroupCols = gr, gc
 	return &c
 }
 

@@ -130,8 +130,8 @@ func TestRunnerContextCancellation(t *testing.T) {
 // TestRunnerBaseOptions: Runner-level options apply to every job and
 // per-job options append after them.
 func TestRunnerBaseOptions(t *testing.T) {
-	// stencil-single runs on a 1x1 mesh; stencil-tuned (2x2 group) needs
-	// a per-job override to fit.
+	// The batch-wide mesh is 1x1; stencil-tuned (2x2 group) clamps to a
+	// single core there, and a per-job override restores the full group.
 	single, _ := WorkloadByName("stencil-single")
 	tuned, _ := WorkloadByName("stencil-tuned")
 	r := &Runner{Workers: 2, Options: []Option{WithMeshSize(1, 1)}}
@@ -143,13 +143,15 @@ func TestRunnerBaseOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if batch.Results[0].Err != nil {
-		t.Fatalf("1x1 workload on 1x1 mesh: %v", batch.Results[0].Err)
+	for i, jr := range batch.Results {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", i, jr.Err)
+		}
 	}
-	if batch.Results[1].Err == nil {
-		t.Fatal("2x2 workgroup must not fit the batch-wide 1x1 mesh")
-	}
-	if batch.Results[2].Err != nil {
-		t.Fatalf("per-job mesh override failed: %v", batch.Results[2].Err)
+	clamped := batch.Results[1].Result.Metrics()
+	full := batch.Results[2].Result.Metrics()
+	if clamped.TotalFlops*4 != full.TotalFlops {
+		t.Fatalf("clamped run did 1/%d of the full run's work, want 1/4",
+			full.TotalFlops/max(clamped.TotalFlops, 1))
 	}
 }

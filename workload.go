@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"epiphany/internal/system"
 	"epiphany/internal/workload"
 )
 
@@ -23,11 +24,19 @@ type (
 	// Metrics is the common performance summary: GFLOPS, % of peak, and
 	// the compute/transfer split for runs that page through shared DRAM.
 	Metrics = workload.Metrics
-	// Option configures a run: WithMeshSize, WithSeed, WithTrace.
+	// Option configures a run: WithTopology, WithMeshSize, WithSeed,
+	// WithTrace.
 	Option = workload.Option
 	// Reseeder is implemented by workloads whose inputs derive from a
 	// seed; WithSeed requires it.
 	Reseeder = workload.Reseeder
+	// TopologyFitter is implemented by workloads that can adapt their
+	// workgroup shape to the device they run on; the built-ins do, which
+	// is what lets every registered preset run on every topology.
+	TopologyFitter = workload.TopologyFitter
+	// Topology describes the simulated fabric: a single chip or a board
+	// of chips glued through chip-to-chip eLinks.
+	Topology = system.Topology
 
 	// StencilWorkload runs the §VI heat stencil as a Workload.
 	StencilWorkload = workload.Stencil
@@ -59,8 +68,31 @@ func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
 	return workload.Run(ctx, w, opts...)
 }
 
-// WithMeshSize runs the workload on a rows x cols device instead of the
-// default 8x8 Epiphany-IV mesh.
+// Preset topologies: the 16-core Epiphany-III, the paper's 64-core
+// Epiphany-IV (the default), and a 2x2 cluster of Parallella boards
+// whose four E16 chips form one 8x8 mesh with chip-to-chip eLink
+// boundaries.
+var (
+	TopologyE16        = system.E16
+	TopologyE64        = system.E64
+	TopologyCluster2x2 = system.Cluster2x2
+)
+
+// Topologies lists the preset topologies in scaling order.
+func Topologies() []Topology { return system.Topologies() }
+
+// TopologyByName looks up a preset topology ("e16", "e64",
+// "cluster-2x2").
+func TopologyByName(name string) (Topology, bool) { return system.TopologyByName(name) }
+
+// WithTopology runs the workload on the given fabric topology. On
+// multi-chip boards, mesh traffic crossing a chip boundary pays the
+// chip-to-chip eLink's bandwidth and arbitration costs, reported in
+// Metrics.ELinkCrossTime/ELinkCrossings.
+func WithTopology(t Topology) Option { return workload.WithTopology(t) }
+
+// WithMeshSize runs the workload on a rows x cols single-chip device
+// instead of the default 8x8 Epiphany-IV mesh.
 func WithMeshSize(rows, cols int) Option { return workload.WithMeshSize(rows, cols) }
 
 // WithSeed rebases the workload's deterministic inputs onto seed; the

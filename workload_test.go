@@ -61,13 +61,22 @@ func TestRunValidates(t *testing.T) {
 }
 
 func TestRunWithMeshSize(t *testing.T) {
-	// A 2x2 workgroup fits a 2x2 mesh but not a 1x1 one.
 	w, _ := WorkloadByName("stencil-tuned")
 	if _, err := Run(context.Background(), w, WithMeshSize(2, 2)); err != nil {
 		t.Fatalf("2x2 mesh: %v", err)
 	}
-	if _, err := Run(context.Background(), w, WithMeshSize(1, 1)); err == nil {
-		t.Fatal("a 2x2 workgroup must not fit a 1x1 mesh")
+	// The built-ins implement TopologyFitter: the 2x2 workgroup clamps
+	// itself to a 1x1 device instead of failing.
+	res, err := Run(context.Background(), w, WithMeshSize(1, 1))
+	if err != nil {
+		t.Fatalf("1x1 mesh: %v", err)
+	}
+	if g := res.(*StencilResult).Global; len(g) != 40 {
+		t.Fatalf("clamped single-core run gathered %d rows, want 40", len(g))
+	}
+	// An impossible device is still refused.
+	if _, err := Run(context.Background(), w, WithMeshSize(0, 8)); err == nil {
+		t.Fatal("a zero-row mesh must be refused")
 	}
 }
 
