@@ -114,6 +114,37 @@ func TestGoldenMetricsSingleChip(t *testing.T) {
 	}
 }
 
+// TestGoldenMetricsRecycledSystems pins the Runner's System-recycling
+// path to the same frozen table: a single worker runs every built-in
+// twice back to back, so all but the first job execute on boards
+// recycled through System.Reset, and every one of them must still hit
+// the seed metrics bit for bit.
+func TestGoldenMetricsRecycledSystems(t *testing.T) {
+	var jobs []epiphany.Job
+	var names []string
+	for pass := 0; pass < 2; pass++ {
+		for _, w := range epiphany.Workloads() {
+			if _, builtin := golden[goldenKey{"e64", w.Name()}]; !builtin {
+				continue
+			}
+			jobs = append(jobs, epiphany.Job{Workload: w})
+			names = append(names, w.Name())
+		}
+	}
+	r := &epiphany.Runner{Workers: 1}
+	br, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range br.Results {
+		w, _ := epiphany.WorkloadByName(names[i])
+		checkGolden(t, epiphany.TopologyE64, w, jr.Result.Metrics())
+	}
+}
+
 // TestGoldenDefaultBoardIsE64 pins the option-less Run path to the same
 // golden values: the default board must stay the paper's 8x8 device.
 func TestGoldenDefaultBoardIsE64(t *testing.T) {

@@ -1,0 +1,30 @@
+package epiphany
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRunBatch12 pushes every registered built-in workload through
+// the batch Runner once per iteration - the ROADMAP's batch-serving hot
+// path. Workers defaults to GOMAXPROCS; per-job System cost (build or
+// recycle) is inside the measured loop on purpose.
+func BenchmarkRunBatch12(b *testing.B) {
+	ws := Workloads()
+	if len(ws) < 12 {
+		b.Fatalf("expected >= 12 registered workloads, have %d", len(ws))
+	}
+	r := &Runner{}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br, err := r.RunWorkloads(ctx, ws...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := br.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

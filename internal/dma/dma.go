@@ -41,6 +41,19 @@ func (f *Fabric) ELinkReadTime(t sim.Time, n int) sim.Time {
 	return end
 }
 
+// Reset returns the shared fabric to its just-built state: mesh links
+// and arbiter queues freed, statistics zeroed, every memory zeroed. The
+// caller is responsible for the engine and the per-core DMA engines.
+func (f *Fabric) Reset() {
+	f.Mesh.Reset()
+	f.ELink.Reset()
+	f.ELinkRead.Reset()
+	for _, s := range f.SRAMs {
+		s.Reset()
+	}
+	f.DRAM.Reset()
+}
+
 // Desc is a DMA descriptor, mirroring e_dma_set_desc's fields: a 2D
 // transfer of OuterCount rows of InnerCount beats each. After every beat
 // the addresses advance by the inner strides; after every row they
@@ -117,10 +130,20 @@ type channel struct {
 // NewEngine creates the DMA engine for the given core.
 func NewEngine(fab *Fabric, core int) *Engine {
 	e := &Engine{fab: fab, core: core}
+	prefixes := [2]string{"dma0:core", "dma1:core"}
 	for i := range e.ch {
-		e.ch[i] = &channel{done: sim.NewCond(fab.Eng, fmt.Sprintf("dma:core%d:ch%d", core, i))}
+		e.ch[i] = &channel{done: sim.NewCondIdx(fab.Eng, prefixes[i], core)}
 	}
 	return e
+}
+
+// Reset clears both channels' transfer state and statistics (the shared
+// fabric is reset separately, by its owner).
+func (e *Engine) Reset() {
+	for _, ch := range e.ch {
+		ch.active = false
+		ch.moved = 0
+	}
 }
 
 // Busy reports whether the channel has an active transfer.

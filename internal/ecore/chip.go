@@ -48,7 +48,7 @@ func NewChipMap(eng *sim.Engine, amap *mem.Map) *Chip {
 		Mesh:      noc.NewMesh(eng, amap),
 		ELink:     noc.NewELink(eng, rows, cols),
 		ELinkRead: sim.NewResource("elink-read"),
-		SRAMs:     make([]*mem.SRAM, n),
+		SRAMs:     mem.NewSRAMs(n),
 		DRAM:      mem.NewDRAM(),
 	}
 	ch := &Chip{eng: eng, fab: fab}
@@ -56,11 +56,22 @@ func NewChipMap(eng *sim.Engine, amap *mem.Map) *Chip {
 	ch.arrival = make([]*sim.Cond, n)
 	ch.cores = make([]*Core, n)
 	for i := 0; i < n; i++ {
-		fab.SRAMs[i] = mem.NewSRAM()
-		ch.arrival[i] = sim.NewCond(eng, fmt.Sprintf("arrival:core%d", i))
+		ch.arrival[i] = sim.NewCondIdx(eng, "arrival:core", i)
 		ch.cores[i] = newCore(ch, i)
 	}
 	return ch
+}
+
+// Reset returns the chip to its just-constructed state - fabric
+// occupancy and statistics cleared, memories zeroed, per-core state
+// blank - so a recycled board replays any experiment bit-identically to
+// a fresh one. The engine must be reset (or quiescent) first; cores with
+// kernels still running make the recycled state undefined.
+func (ch *Chip) Reset() {
+	ch.fab.Reset()
+	for _, c := range ch.cores {
+		c.reset()
+	}
 }
 
 // Engine returns the simulation engine the chip runs on.

@@ -42,6 +42,17 @@ func newCore(ch *Chip, idx int) *Core {
 	}
 }
 
+// reset clears all per-core run state: timers, statistics, the activity
+// accounting, the scratchpad layout plan and both DMA channels.
+func (c *Core) reset() {
+	c.proc = nil
+	c.layout.Reset()
+	c.timers = [2]sim.Time{}
+	c.flops, c.descs = 0, 0
+	c.computeTime, c.dmaWaitTime, c.flagWaitTime = 0, 0, 0
+	c.dma.Reset()
+}
+
 // Chip returns the owning chip.
 func (c *Core) Chip() *Chip { return c.chip }
 

@@ -52,6 +52,13 @@ func New(chip *ecore.Chip) *Host {
 // Chip returns the attached device.
 func (h *Host) Chip() *ecore.Chip { return h.chip }
 
+// Reset frees both host-side eLink directions and clears their
+// statistics, matching a just-built host.
+func (h *Host) Reset() {
+	h.down.Reset()
+	h.up.Reset()
+}
+
 // Spawn starts the host program as a simulation process.
 func (h *Host) Spawn(name string, fn func(hp *Proc)) *sim.Proc {
 	return h.chip.Engine().Spawn(name, func(p *sim.Proc) {

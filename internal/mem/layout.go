@@ -36,6 +36,9 @@ type Layout struct {
 // NewLayout returns an empty plan.
 func NewLayout() *Layout { return &Layout{} }
 
+// Reset discards every reservation, returning the plan to empty.
+func (l *Layout) Reset() { l.regions = l.regions[:0] }
+
 // PlaceAt reserves [off, off+size) under name. It fails if the range
 // leaves the 32 KB scratchpad or collides with an earlier reservation.
 func (l *Layout) PlaceAt(name string, off Addr, size int) (Region, error) {

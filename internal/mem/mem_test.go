@@ -313,3 +313,74 @@ func TestLayoutAlignment(t *testing.T) {
 		t.Fatal("non-power-of-two alignment accepted")
 	}
 }
+
+func TestSRAMResetZeroes(t *testing.T) {
+	s := NewSRAM()
+	s.Store32(0, 0xDEADBEEF)
+	s.Store64(SRAMSize-8, ^uint64(0))
+	s.Reset()
+	if s.Load32(0) != 0 || s.Load64(SRAMSize-8) != 0 {
+		t.Fatal("Reset left bytes behind")
+	}
+}
+
+func TestNewSRAMsAreIndependent(t *testing.T) {
+	srams := NewSRAMs(4)
+	if len(srams) != 4 {
+		t.Fatalf("NewSRAMs(4) returned %d scratchpads", len(srams))
+	}
+	srams[1].Store32(0x100, 42)
+	for i, s := range srams {
+		want := uint32(0)
+		if i == 1 {
+			want = 42
+		}
+		if got := s.Load32(0x100); got != want {
+			t.Fatalf("sram %d reads %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestDRAMResetUsesWatermark(t *testing.T) {
+	d := NewDRAM()
+	d.Store32(0, 1)
+	d.StoreF32(1<<20, 2.5)
+	d.Reset()
+	if d.Load32(0) != 0 || d.LoadF32(1<<20) != 0 {
+		t.Fatal("Reset left dirty bytes")
+	}
+	// Repeated cycles still clear.
+	d.Store32(64, 7)
+	d.Reset()
+	if d.Load32(64) != 0 {
+		t.Fatal("second Reset left dirty bytes")
+	}
+	// Reads advance the watermark too (Bytes aliases are writable), so
+	// a write through an aliased slice is still cleared.
+	b := d.Bytes(4096, 8)
+	b[0] = 0xFF
+	d.Reset()
+	if d.Load32(4096) != 0 {
+		t.Fatal("write through aliased Bytes slice survived Reset")
+	}
+	// The watermark never retreats: a write through a stale alias
+	// after a Reset (a retained slice from an earlier run) is still
+	// inside the prefix the next Reset clears.
+	b[4] = 0xAA
+	d.Reset()
+	if d.Load32(4100) != 0 {
+		t.Fatal("post-Reset write through stale alias survived the next Reset")
+	}
+}
+
+func TestLayoutReset(t *testing.T) {
+	l := NewLayout()
+	l.MustPlaceAt("a", 0x4000, 128)
+	l.Reset()
+	if l.Used() != 0 || len(l.Regions()) != 0 {
+		t.Fatal("Reset left reservations")
+	}
+	if _, err := l.PlaceAt("a", 0x4000, 128); err != nil {
+		t.Fatalf("re-placing after Reset: %v", err)
+	}
+}

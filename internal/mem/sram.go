@@ -15,6 +15,21 @@ type SRAM struct {
 // NewSRAM returns a zeroed scratchpad.
 func NewSRAM() *SRAM { return &SRAM{} }
 
+// NewSRAMs returns n zeroed scratchpads carved out of one backing
+// allocation - how a chip builds its per-core memories without paying
+// one heap object per core.
+func NewSRAMs(n int) []*SRAM {
+	backing := make([]SRAM, n)
+	out := make([]*SRAM, n)
+	for i := range backing {
+		out[i] = &backing[i]
+	}
+	return out
+}
+
+// Reset zeroes the scratchpad.
+func (s *SRAM) Reset() { clear(s.data[:]) }
+
 func (s *SRAM) check(off Addr, n int) {
 	if int(off)+n > SRAMSize {
 		panic(fmt.Sprintf("mem: SRAM access [%#x,%#x) beyond 32 KB", off, int(off)+n))
@@ -73,6 +88,12 @@ func Copy(dst *SRAM, dstOff Addr, src *SRAM, srcOff Addr, n int) {
 // DRAM is the shared off-chip memory window.
 type DRAM struct {
 	data []byte
+	// hi is the dirty high-water mark: one past the highest byte any
+	// accessor has ever exposed, so Reset zeroes only that prefix
+	// instead of the whole 32 MB window. It never retreats - even
+	// across Resets - so a write through a Bytes alias retained from an
+	// earlier run still lands inside the cleared prefix.
+	hi int
 }
 
 // NewDRAM allocates the 32 MB shared window.
@@ -83,6 +104,16 @@ func (d *DRAM) check(off Addr, n int) {
 		panic(fmt.Sprintf("mem: DRAM access [%#x,%#x) beyond %d MB window",
 			off, int(off)+n, len(d.data)>>20))
 	}
+	if int(off)+n > d.hi {
+		d.hi = int(off) + n
+	}
+}
+
+// Reset zeroes every byte that may ever have been written (the dirty
+// watermark is conservative: reads advance it too, and it survives
+// Reset so stale aliases cannot smuggle bytes past it).
+func (d *DRAM) Reset() {
+	clear(d.data[:d.hi])
 }
 
 // Bytes returns a slice aliasing n bytes of DRAM at off.

@@ -64,8 +64,11 @@ func TestBoardDeliverChargesCrossing(t *testing.T) {
 
 	// One boundary hop: the message store-and-forwards over the
 	// chip-to-chip eLink at its slower rate plus the crossing latency.
+	// The eLink delivers the tail itself - serX covers every byte - so
+	// no on-chip serialization is charged on top (that double charge was
+	// the multi-chip delivery overcharge bug).
 	got := m.Deliver(1000, idx(0, 3), idx(0, 4), n)
-	want := sim.Time(1000) + serX + C2CHopLatency + ser
+	want := sim.Time(1000) + serX + C2CHopLatency
 	if got != want {
 		t.Fatalf("boundary arrival %v, want %v", got, want)
 	}
@@ -79,6 +82,42 @@ func TestBoardDeliverChargesCrossing(t *testing.T) {
 	// The crossing must dominate an equal-distance on-chip hop.
 	if onChip := HopLatency + ser; got-1000 <= onChip {
 		t.Fatalf("boundary hop (%v) not slower than on-chip hop (%v)", got-1000, onChip)
+	}
+}
+
+// TestBoardFinalHopChargedOnce pins the expected-value arithmetic of the
+// final delivery hop: an on-chip final hop is cut-through (head latency
+// plus one message serialization), a chip-boundary final hop is store-
+// and-forward (eLink serialization plus crossing latency, nothing more).
+// Before the overcharge fix the boundary case was additionally billed
+// the on-chip serialization it never performed.
+func TestBoardFinalHopChargedOnce(t *testing.T) {
+	_, m := newBoardMesh()
+	idx := m.Map().CoreIndex
+	n := 128
+	ser := LinkSerialization(n)
+	serX := C2CSerialization(n)
+
+	// One on-chip hop: cut-through. Head arrives after HopLatency, tail
+	// ser later.
+	if got, want := m.Deliver(0, idx(0, 0), idx(0, 1), n), HopLatency+ser; got != want {
+		t.Errorf("one on-chip hop arrives at %v, want HopLatency+ser = %v", got, want)
+	}
+
+	// One boundary hop: store-and-forward. The eLink carries every byte
+	// at C2CBytePeriod and the tail is on the far chip once that (plus
+	// the crossing latency) is paid; no on-chip serialization remains.
+	if got, want := m.Deliver(0, idx(1, 3), idx(1, 4), n), serX+C2CHopLatency; got != want {
+		t.Errorf("one boundary hop arrives at %v, want serX+C2CHopLatency = %v", got, want)
+	}
+
+	// Boundary hop followed by an on-chip hop: the message re-enters the
+	// cut-through regime after the crossing, so the on-chip serialization
+	// is charged exactly once, by the trailing on-chip leg. (Row 4 sits
+	// in the other chip row, whose boundary eLink is independent of the
+	// one the previous delivery occupied.)
+	if got, want := m.Deliver(0, idx(4, 3), idx(4, 5), n), serX+C2CHopLatency+HopLatency+ser; got != want {
+		t.Errorf("boundary-then-on-chip arrives at %v, want serX+C2CHopLatency+HopLatency+ser = %v", got, want)
 	}
 }
 

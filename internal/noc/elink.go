@@ -2,7 +2,6 @@ package noc
 
 import (
 	"container/heap"
-	"fmt"
 	"math"
 
 	"epiphany/internal/sim"
@@ -93,12 +92,19 @@ func NewELink(eng *sim.Engine, rows, cols int) *ELink {
 		served:   make([]uint64, n),
 		svcBytes: make([]uint64, n),
 	}
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			e.weight[r*cols+c] = elinkWeight(rows, cols, r, c)
+	e.calibrate()
+	return e
+}
+
+// calibrate installs the fitted arbitration weights - the single source
+// both construction and Reset use, so a recycled arbiter can never
+// drift from a fresh one.
+func (e *ELink) calibrate() {
+	for r := 0; r < e.rows; r++ {
+		for c := 0; c < e.cols; c++ {
+			e.weight[r*e.cols+c] = elinkWeight(e.rows, e.cols, r, c)
 		}
 	}
-	return e
 }
 
 // elinkWeight is the calibrated arbitration weight of core (r,c).
@@ -122,6 +128,21 @@ func elinkWeight(rows, cols, r, c int) float64 {
 
 // Weight exposes the arbitration weight for core, for tests and docs.
 func (e *ELink) Weight(core int) float64 { return e.weight[core] }
+
+// Reset drops all queued requests, clears the WFQ state and statistics,
+// and restores the calibrated arbitration weights (undoing
+// SetUniformWeights), returning the arbiter to its just-built state.
+func (e *ELink) Reset() {
+	clear(e.pending)
+	e.pending = e.pending[:0]
+	clear(e.lastTag)
+	e.virtual = 0
+	e.busy = false
+	clear(e.served)
+	clear(e.svcBytes)
+	e.total = 0
+	e.calibrate()
+}
 
 // SetUniformWeights replaces the calibrated arbitration with an ideal
 // fair arbiter - the counterfactual used by the fairness ablation to show
@@ -165,7 +186,7 @@ func (e *ELink) submit(core, n int) *elinkReq {
 		start: start,
 		tag:   start + float64(n)/w,
 		seq:   e.total,
-		done:  sim.NewCond(e.eng, fmt.Sprintf("elink:core%d", core)),
+		done:  sim.NewCondIdx(e.eng, "elink:core", core),
 	}
 	e.total++
 	e.lastTag[core] = req.tag

@@ -22,12 +22,16 @@ func (d Dir) String() string {
 	return [...]string{"east", "west", "north", "south"}[d]
 }
 
-// link is one directed mesh edge: an on-chip wire, or - when it spans a
-// chip boundary on a multi-chip board - a share of the chip-to-chip
-// eLink crossing that boundary.
-type link struct {
-	res   *sim.Resource
-	cross bool
+// linkState is the occupancy record of one physical link slot: the same
+// bandwidth-accounting model as sim.Resource (begin = max(t, freeAt),
+// busy until begin+d), held as a plain value in the mesh's flat slot
+// array so building and resetting a fabric allocates nothing per link.
+// Diagnostic names are derived lazily from grid position (LinkName);
+// the state itself carries none.
+type linkState struct {
+	freeAt sim.Time
+	busy   sim.Time // cumulative occupancy, for utilization stats
+	uses   uint64
 }
 
 // Mesh is the eMesh fabric of one board: a rows x cols grid of routers
@@ -47,13 +51,23 @@ type link struct {
 // C2CBytePeriod (the store-and-forward packetization of the off-chip
 // protocol, 8x slower than an on-chip link).
 type Mesh struct {
-	eng        *sim.Engine
-	amap       *mem.Map
-	rows, cols int
-	// h[r][c] is the link between router (r,c) and (r,c+1); h[r][c][0]
-	// carries eastbound traffic, [1] westbound. Similarly v for vertical.
-	h [][][2]link
-	v [][][2]link
+	eng                *sim.Engine
+	amap               *mem.Map
+	rows, cols         int
+	chipRows, chipCols int
+	// links holds every distinct physical link slot: private on-chip
+	// directed links in [0, crossBase), then the shared chip-to-chip
+	// eLink slots in [crossBase, len). A slot index >= crossBase is what
+	// marks a hop as a chip-boundary crossing.
+	links     []linkState
+	crossBase int32
+	// hIdx[(r*(cols-1)+c)*2+d] is the slot of the horizontal link between
+	// routers (r,c) and (r,c+1): d=0 eastbound, d=1 westbound. Boundary
+	// columns alias the shared c2c slots (every row of a chip edge maps
+	// to the same slot). vIdx is the same for vertical links between
+	// (r,c) and (r+1,c): d=0 southbound, d=1 northbound.
+	hIdx []int32
+	vIdx []int32
 	// errata0 enables the E64G401 Errata #0 model: "Duplicate IO
 	// Transaction" makes instruction fetches and data reads from cores in
 	// (chip-relative) row 2 and column 2 issue twice, halving their read
@@ -71,50 +85,64 @@ type Mesh struct {
 // NewMesh builds the eMesh for the given address map.
 func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
 	m := &Mesh{eng: eng, amap: amap, rows: amap.Rows, cols: amap.Cols}
-	chipRows, chipCols := amap.ChipDims()
-	// Chip-to-chip eLinks are shared per chip edge: key by the boundary
-	// position and the chip-grid row (or column) on which the crossing
-	// happens, one resource pair per direction.
-	xlinks := make(map[string]*sim.Resource)
-	xlink := func(key string) *sim.Resource {
-		r, ok := xlinks[key]
-		if !ok {
-			r = sim.NewResource("c2c" + key)
-			xlinks[key] = r
-		}
-		return r
-	}
-	m.h = make([][][2]link, m.rows)
+	m.chipRows, m.chipCols = amap.ChipDims()
+	gridRows, gridCols := amap.ChipGrid()
+	// Shared chip-to-chip eLink slots, resolved by index: one pair per
+	// (vertical boundary, chip-grid row) and per (horizontal boundary,
+	// chip-grid column).
+	nVCross := (gridCols - 1) * gridRows * 2
+	nHCross := (gridRows - 1) * gridCols * 2
+	nH := m.rows * (m.cols - 1)
+	nV := (m.rows - 1) * m.cols
+	onChip := (nH+nV)*2 - m.rows*(gridCols-1)*2 - m.cols*(gridRows-1)*2
+	m.crossBase = int32(onChip)
+	m.links = make([]linkState, onChip+nVCross+nHCross)
+	m.hIdx = make([]int32, nH*2)
+	m.vIdx = make([]int32, nV*2)
+	next := int32(0)
 	for r := 0; r < m.rows; r++ {
-		m.h[r] = make([][2]link, m.cols-1)
 		for c := 0; c < m.cols-1; c++ {
-			if (c+1)%chipCols == 0 {
+			p := (r*(m.cols-1) + c) * 2
+			if (c+1)%m.chipCols == 0 {
 				// Vertical chip boundary after column c: every row of
 				// this chip row shares the boundary's eLink pair.
-				key := fmt.Sprintf("(%d,%d)", r/chipRows, c)
-				m.h[r][c][0] = link{xlink(key + "e"), true}
-				m.h[r][c][1] = link{xlink(key + "w"), true}
+				b := (c+1)/m.chipCols - 1
+				slot := m.crossBase + int32((b*gridRows+r/m.chipRows)*2)
+				m.hIdx[p], m.hIdx[p+1] = slot, slot+1
 			} else {
-				m.h[r][c][0] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)e", r, c)), false}
-				m.h[r][c][1] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)w", r, c)), false}
+				m.hIdx[p], m.hIdx[p+1] = next, next+1
+				next += 2
 			}
 		}
 	}
-	m.v = make([][][2]link, m.rows-1)
 	for r := 0; r < m.rows-1; r++ {
-		m.v[r] = make([][2]link, m.cols)
 		for c := 0; c < m.cols; c++ {
-			if (r+1)%chipRows == 0 {
-				key := fmt.Sprintf("(%d,%d)", r, c/chipCols)
-				m.v[r][c][0] = link{xlink(key + "s"), true}
-				m.v[r][c][1] = link{xlink(key + "n"), true}
+			p := (r*m.cols + c) * 2
+			if (r+1)%m.chipRows == 0 {
+				b := (r+1)/m.chipRows - 1
+				slot := m.crossBase + int32(nVCross) + int32((b*gridCols+c/m.chipCols)*2)
+				m.vIdx[p], m.vIdx[p+1] = slot, slot+1
 			} else {
-				m.v[r][c][0] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)s", r, c)), false}
-				m.v[r][c][1] = link{sim.NewResource(fmt.Sprintf("link(%d,%d)n", r, c)), false}
+				m.vIdx[p], m.vIdx[p+1] = next, next+1
+				next += 2
 			}
 		}
+	}
+	if next != m.crossBase {
+		panic(fmt.Sprintf("noc: on-chip slot count mismatch: assigned %d, sized %d", next, m.crossBase))
 	}
 	return m
+}
+
+// Reset clears every link's occupancy and all delivery statistics,
+// returning the fabric to its just-constructed state (including the
+// errata model, which defaults off) so a recycled board is
+// bit-deterministic with a fresh one.
+func (m *Mesh) Reset() {
+	clear(m.links)
+	m.errata0 = false
+	m.writes, m.bytes = 0, 0
+	m.crossings, m.crossBytes, m.crossTime = 0, 0, 0
 }
 
 // Rows returns the mesh height.
@@ -140,23 +168,32 @@ func abs(x int) int {
 	return x
 }
 
-// path invokes fn for every directed link on the X-then-Y route from src
-// to dst, in traversal order.
-func (m *Mesh) path(src, dst int, fn func(link)) {
-	sr, sc := m.amap.CoreCoords(src)
-	dr, dc := m.amap.CoreCoords(dst)
-	for c := sc; c < dc; c++ {
-		fn(m.h[sr][c][0])
+// hop books one directed link slot for a message whose head reaches the
+// router at cur, and returns the time the message is past the hop plus
+// whether the hop crossed a chip boundary. On-chip hops are cut-through:
+// the head moves on after HopLatency while the link stays occupied for
+// the serialization time. Boundary hops store-and-forward: the returned
+// time is the tail's arrival on the far chip.
+func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) {
+	ls := &m.links[slot]
+	begin := cur
+	if ls.freeAt > begin {
+		begin = ls.freeAt
 	}
-	for c := sc; c > dc; c-- {
-		fn(m.h[sr][c-1][1])
+	if slot >= m.crossBase {
+		ls.freeAt = begin + serX
+		ls.busy += serX
+		ls.uses++
+		next := begin + serX + C2CHopLatency
+		m.crossings++
+		m.crossBytes += uint64(n)
+		m.crossTime += next - cur
+		return next, true
 	}
-	for r := sr; r < dr; r++ {
-		fn(m.v[r][dc][0])
-	}
-	for r := sr; r > dr; r-- {
-		fn(m.v[r-1][dc][1])
-	}
+	ls.freeAt = begin + ser
+	ls.busy += ser
+	ls.uses++
+	return begin + HopLatency, false
 }
 
 // Deliver books an n-byte write transfer from src to dst onto the on-chip
@@ -173,7 +210,12 @@ func (m *Mesh) path(src, dst int, fn func(link)) {
 // chip-to-chip eLink store-and-forwards the message at its own (much
 // slower) serialization rate, after waiting for the shared link and
 // paying the off-chip C2CHopLatency. The extra time spent on boundary
-// crossings is accumulated in CrossTime.
+// crossings is accumulated in CrossTime. When the final hop is such a
+// crossing, the store-and-forward time already covers the tail's
+// arrival, so the on-chip serialization is not charged again.
+//
+// The XY route (X leg first, then Y) is walked inline over the flat
+// slot arrays; a call performs no allocations.
 func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 	m.writes++
 	m.bytes += uint64(n)
@@ -182,20 +224,29 @@ func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 	}
 	ser := LinkSerialization(n)
 	serX := C2CSerialization(n)
+	sr, sc := m.amap.CoreCoords(src)
+	dr, dc := m.amap.CoreCoords(dst)
 	cur := t
-	m.path(src, dst, func(lk link) {
-		if lk.cross {
-			begin, _ := lk.res.Use(cur, serX)
-			next := begin + serX + C2CHopLatency
-			m.crossings++
-			m.crossBytes += uint64(n)
-			m.crossTime += next - cur
-			cur = next
-			return
-		}
-		begin, _ := lk.res.Use(cur, ser)
-		cur = begin + HopLatency
-	})
+	lastCross := false
+	hw := m.cols - 1
+	for c := sc; c < dc; c++ {
+		cur, lastCross = m.hop(m.hIdx[(sr*hw+c)*2], cur, ser, serX, n)
+	}
+	for c := sc; c > dc; c-- {
+		cur, lastCross = m.hop(m.hIdx[(sr*hw+c-1)*2+1], cur, ser, serX, n)
+	}
+	for r := sr; r < dr; r++ {
+		cur, lastCross = m.hop(m.vIdx[(r*m.cols+dc)*2], cur, ser, serX, n)
+	}
+	for r := sr; r > dr; r-- {
+		cur, lastCross = m.hop(m.vIdx[((r-1)*m.cols+dc)*2+1], cur, ser, serX, n)
+	}
+	if lastCross {
+		// The boundary eLink already delivered the tail (store-and-
+		// forward); adding the on-chip serialization would charge the
+		// final hop twice.
+		return cur
+	}
 	return cur + ser
 }
 
@@ -225,9 +276,8 @@ func (m *Mesh) errata0Hits(src int) bool {
 	if !m.errata0 {
 		return false
 	}
-	chipRows, chipCols := m.amap.ChipDims()
 	r, c := m.amap.CoreCoords(src)
-	return r%chipRows == 2 || c%chipCols == 2
+	return r%m.chipRows == 2 || c%m.chipCols == 2
 }
 
 // ReadWord models a single remote 32-bit load from src's CPU to dst's
@@ -252,17 +302,62 @@ func (m *Mesh) Writes() uint64 { return m.writes }
 // Bytes returns the total bytes delivered.
 func (m *Mesh) Bytes() uint64 { return m.bytes }
 
-// LinkUtilization returns the utilization of the eastbound link out of
-// router (r,c) at time now, for diagnostics.
-func (m *Mesh) LinkUtilization(r, c int, d Dir, now sim.Time) float64 {
+// linkSlot resolves the directed link leaving router (r,c) towards d to
+// its slot index. ok is false when no such link exists: coordinates off
+// the mesh, or a direction pointing off the board's edge (West at column
+// 0, North at row 0, East at the last column, South at the last row).
+func (m *Mesh) linkSlot(r, c int, d Dir) (slot int32, ok bool) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return 0, false
+	}
 	switch d {
 	case East:
-		return m.h[r][c][0].res.Utilization(now)
+		if c == m.cols-1 {
+			return 0, false
+		}
+		return m.hIdx[(r*(m.cols-1)+c)*2], true
 	case West:
-		return m.h[r][c-1][1].res.Utilization(now)
+		if c == 0 {
+			return 0, false
+		}
+		return m.hIdx[(r*(m.cols-1)+c-1)*2+1], true
 	case South:
-		return m.v[r][c][0].res.Utilization(now)
+		if r == m.rows-1 {
+			return 0, false
+		}
+		return m.vIdx[(r*m.cols+c)*2], true
+	case North:
+		if r == 0 {
+			return 0, false
+		}
+		return m.vIdx[((r-1)*m.cols+c)*2+1], true
+	}
+	return 0, false
+}
+
+// LinkUtilization returns the utilization of the link leaving router
+// (r,c) towards d at time now, for diagnostics. Links that point off the
+// mesh edge (or coordinates outside the mesh) report 0.
+func (m *Mesh) LinkUtilization(r, c int, d Dir, now sim.Time) float64 {
+	slot, ok := m.linkSlot(r, c, d)
+	if !ok || now == 0 {
+		return 0
+	}
+	return float64(m.links[slot].busy) / float64(now)
+}
+
+// LinkName builds the diagnostic name of the link leaving router (r,c)
+// towards d. Names are derived on demand from grid position (the link
+// state itself is name-free); chip-boundary links report the shared
+// chip-to-chip eLink they alias.
+func (m *Mesh) LinkName(r, c int, d Dir) string {
+	slot, ok := m.linkSlot(r, c, d)
+	switch {
+	case !ok:
+		return fmt.Sprintf("off-mesh(%d,%d)%s", r, c, d)
+	case slot >= m.crossBase:
+		return fmt.Sprintf("c2c(%d,%d)%s", r/m.chipRows, c/m.chipCols, d)
 	default:
-		return m.v[r-1][c][1].res.Utilization(now)
+		return fmt.Sprintf("link(%d,%d)%s", r, c, d)
 	}
 }

@@ -1,0 +1,53 @@
+package noc
+
+import (
+	"testing"
+
+	"epiphany/internal/mem"
+	"epiphany/internal/sim"
+)
+
+// sinkTime keeps the compiler from eliding the Deliver calls.
+var sinkTime sim.Time
+
+// benchDeliver drives a pseudo-random all-to-all delivery pattern so the
+// route walk, the link booking, and (on multi-chip maps) the boundary
+// crossings are all exercised.
+func benchDeliver(b *testing.B, amap *mem.Map) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, amap)
+	cores := amap.NumCores()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t sim.Time
+	for i := 0; i < b.N; i++ {
+		src := i % cores
+		dst := (i*7 + 13) % cores
+		t = m.Deliver(t, src, dst, 64)
+	}
+	sinkTime = t
+}
+
+func BenchmarkDeliverE64(b *testing.B) { benchDeliver(b, mem.NewMap(8, 8)) }
+
+func BenchmarkDeliverCluster2x2(b *testing.B) {
+	benchDeliver(b, mem.NewBoardMap(2, 2, 4, 4))
+}
+
+// sinkMesh keeps construction live.
+var sinkMesh *Mesh
+
+func benchNewMesh(b *testing.B, amap *mem.Map) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkMesh = NewMesh(eng, amap)
+	}
+}
+
+func BenchmarkNewMeshE64(b *testing.B) { benchNewMesh(b, mem.NewMap(8, 8)) }
+
+func BenchmarkNewMeshCluster2x2(b *testing.B) {
+	benchNewMesh(b, mem.NewBoardMap(2, 2, 4, 4))
+}

@@ -378,6 +378,72 @@ func TestLinkUtilizationAccounting(t *testing.T) {
 	}
 }
 
+// TestLinkUtilizationEdgeRouters sweeps every direction at all four mesh
+// corners: directions that point off the mesh edge (West at column 0,
+// North at row 0, East at the last column, South at the last row) must
+// report 0 instead of panicking, and out-of-range coordinates likewise.
+func TestLinkUtilizationEdgeRouters(t *testing.T) {
+	_, m := newTestMesh()
+	now := sim.Cycles(100)
+	last := m.Rows() - 1
+	corners := [][2]int{{0, 0}, {0, last}, {last, 0}, {last, last}}
+	for _, rc := range corners {
+		for _, d := range []Dir{East, West, North, South} {
+			if u := m.LinkUtilization(rc[0], rc[1], d, now); u != 0 {
+				t.Errorf("idle corner (%d,%d) %v utilization = %v, want 0", rc[0], rc[1], d, u)
+			}
+		}
+	}
+	for _, rc := range [][2]int{{-1, 0}, {0, -1}, {last + 1, 0}, {0, last + 1}} {
+		if u := m.LinkUtilization(rc[0], rc[1], East, now); u != 0 {
+			t.Errorf("off-mesh router (%d,%d) utilization = %v, want 0", rc[0], rc[1], u)
+		}
+	}
+	// An in-range link at a corner still reports real utilization.
+	idx := m.Map().CoreIndex
+	m.Deliver(0, idx(0, 0), idx(0, 1), 8*50) // 50 cycles on link (0,0)e
+	if u := m.LinkUtilization(0, 0, East, now); u != 0.5 {
+		t.Errorf("corner east link utilization = %v, want 0.5", u)
+	}
+}
+
+func TestLinkNamesAreLazy(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, mem.NewBoardMap(2, 2, 4, 4))
+	if got := m.LinkName(0, 0, East); got != "link(0,0)east" {
+		t.Errorf("on-chip link name %q", got)
+	}
+	// Column 3 -> 4 crosses the vertical chip boundary: the name reports
+	// the shared chip-to-chip eLink.
+	if got := m.LinkName(1, 3, East); got != "c2c(0,0)east" {
+		t.Errorf("boundary link name %q", got)
+	}
+	if got := m.LinkName(0, 0, West); got != "off-mesh(0,0)west" {
+		t.Errorf("edge link name %q", got)
+	}
+}
+
+func TestMeshResetRestoresPristineState(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, mem.NewBoardMap(2, 2, 4, 4))
+	idx := m.Map().CoreIndex
+	first := m.Deliver(0, idx(0, 0), idx(3, 7), 512)
+	m.SetErrata0(true)
+	m.Reset()
+	if m.Writes() != 0 || m.Bytes() != 0 || m.Crossings() != 0 || m.CrossBytes() != 0 || m.CrossTime() != 0 {
+		t.Fatalf("stats survived Reset: writes=%d bytes=%d crossings=%d", m.Writes(), m.Bytes(), m.Crossings())
+	}
+	if m.Errata0() {
+		t.Fatal("errata model survived Reset")
+	}
+	if again := m.Deliver(0, idx(0, 0), idx(3, 7), 512); again != first {
+		t.Fatalf("post-Reset delivery arrives at %v, fresh mesh gave %v", again, first)
+	}
+	if u := m.LinkUtilization(0, 0, East, sim.Cycles(100)); u == 0 {
+		t.Fatal("post-Reset delivery booked no link time")
+	}
+}
+
 func TestErrata0DoublesAffectedReads(t *testing.T) {
 	_, m := newTestMesh()
 	idx := m.Map().CoreIndex

@@ -1,5 +1,7 @@
 package sim
 
+import "strconv"
+
 // Cond is a broadcast-only condition variable for Procs. A Proc calls
 // WaitCond (or Proc-side helpers built on it) to park until another Proc
 // or an engine callback calls Broadcast. Waits are level-triggered only in
@@ -8,23 +10,40 @@ package sim
 type Cond struct {
 	eng     *Engine
 	name    string
+	idx     int // >= 0: the name is name+idx, formatted lazily
 	waiters []*Proc
 }
 
 // NewCond creates a condition attached to eng. The name appears in
 // deadlock diagnostics.
 func NewCond(eng *Engine, name string) *Cond {
-	return &Cond{eng: eng, name: name}
+	return &Cond{eng: eng, name: name, idx: -1}
+}
+
+// NewCondIdx creates a condition named prefix+idx. The name is formatted
+// only when diagnostics ask for it, so construction-heavy callers (one
+// condition per core, per DMA channel, per eLink request) stay
+// allocation-lean on the hot path.
+func NewCondIdx(eng *Engine, prefix string, idx int) *Cond {
+	if idx < 0 {
+		panic("sim: NewCondIdx with negative index")
+	}
+	return &Cond{eng: eng, name: prefix, idx: idx}
 }
 
 // Name returns the diagnostic name.
-func (c *Cond) Name() string { return c.name }
+func (c *Cond) Name() string {
+	if c.idx < 0 {
+		return c.name
+	}
+	return c.name + strconv.Itoa(c.idx)
+}
 
 // WaitCond parks the Proc until c is broadcast. The Proc resumes at the
 // virtual time of the broadcast (plus any delay the broadcaster added).
 func (p *Proc) WaitCond(c *Cond) {
 	c.waiters = append(c.waiters, p)
-	p.block(c.name)
+	p.block(c)
 }
 
 // Broadcast wakes every waiter at the current virtual time.

@@ -159,6 +159,31 @@ func (e *Engine) RunUntil(limit Time) error {
 // on conditions do not count as a deadlock after Stop.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns a drained engine to its initial state - virtual time
+// zero, no events, no procs, fresh sequence numbers - so the structures
+// built around it (and their goroutine-free event state) can be recycled
+// instead of reconstructed. It refuses engines that are not quiescent:
+// pending events, procs parked on conditions, or procs that never ran
+// (their goroutines would leak and their wake-ups would corrupt the next
+// simulation). A successful Run leaves the engine quiescent.
+func (e *Engine) Reset() error {
+	if len(e.heap) != 0 || e.blocked != 0 {
+		return fmt.Errorf("sim: Reset of non-quiescent engine (%d pending events, %d blocked procs)",
+			len(e.heap), e.blocked)
+	}
+	for _, p := range e.procs {
+		if p.state != stateDone {
+			return fmt.Errorf("sim: Reset with proc %q not finished", p.name)
+		}
+	}
+	clear(e.procs)
+	e.procs = e.procs[:0]
+	e.now, e.seq = 0, 0
+	e.err = nil
+	e.stopped = false
+	return nil
+}
+
 func (e *Engine) fail(err error) {
 	if e.err == nil {
 		e.err = err
@@ -169,7 +194,7 @@ func (e *Engine) deadlockError() error {
 	var names []string
 	for _, p := range e.procs {
 		if p.state == stateBlocked {
-			names = append(names, fmt.Sprintf("%s@%v", p.name, p.blockedOn))
+			names = append(names, fmt.Sprintf("%s@%v", p.name, p.blockedOn.Name()))
 		}
 	}
 	sort.Strings(names)

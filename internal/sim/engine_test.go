@@ -382,3 +382,87 @@ func TestManyProcsStress(t *testing.T) {
 		t.Fatalf("finished %d procs, want 64", total)
 	}
 }
+
+// runSchedule drives a small proc/cond/resource schedule on e and
+// returns the completion times observed, for comparing a recycled
+// engine against a fresh one.
+func runSchedule(t *testing.T, e *Engine) []Time {
+	t.Helper()
+	var times []Time
+	res := NewResource("shared")
+	flag := NewCond(e, "flag")
+	e.Spawn("waiter", func(p *Proc) {
+		p.WaitCond(flag)
+		times = append(times, p.Now())
+	})
+	e.Spawn("worker", func(p *Proc) {
+		begin, end := res.Use(p.Now(), 40)
+		_ = begin
+		p.WaitUntil(end)
+		flag.Broadcast()
+		times = append(times, p.Now())
+	})
+	e.After(10, func() { times = append(times, e.Now()) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return times
+}
+
+func TestEngineResetReplaysIdentically(t *testing.T) {
+	e := NewEngine()
+	first := runSchedule(t, e)
+	if err := e.Reset(); err != nil {
+		t.Fatalf("Reset of drained engine: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Reset left Now at %v", e.Now())
+	}
+	second := runSchedule(t, e)
+	if len(first) != len(second) {
+		t.Fatalf("replay produced %d events, fresh produced %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("event %d at %v on recycled engine, %v on fresh", i, second[i], first[i])
+		}
+	}
+}
+
+func TestEngineResetRefusesNonQuiescent(t *testing.T) {
+	// Pending event.
+	e := NewEngine()
+	e.At(100, func() {})
+	if err := e.Reset(); err == nil {
+		t.Fatal("Reset accepted an engine with pending events")
+	}
+
+	// Proc parked on a Cond after Stop (no deadlock error, but the
+	// goroutine is still blocked).
+	e = NewEngine()
+	c := NewCond(e, "never")
+	e.Spawn("parked", func(p *Proc) { p.WaitCond(c) })
+	e.At(1, func() { e.Stop() })
+	if err := e.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(); err == nil {
+		t.Fatal("Reset accepted an engine with a blocked proc")
+	}
+}
+
+func TestCondNames(t *testing.T) {
+	e := NewEngine()
+	if got := NewCond(e, "plain").Name(); got != "plain" {
+		t.Errorf("NewCond name %q", got)
+	}
+	if got := NewCondIdx(e, "arrival:core", 7).Name(); got != "arrival:core7" {
+		t.Errorf("NewCondIdx name %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCondIdx accepted a negative index")
+		}
+	}()
+	NewCondIdx(e, "bad", -1)
+}

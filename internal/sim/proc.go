@@ -26,8 +26,8 @@ type Proc struct {
 	resume    chan Time
 	fn        func(*Proc)
 	state     procState
-	blockedOn string // description of the Cond being waited on (diagnostics)
-	done      *Cond  // lazily created completion condition
+	blockedOn *Cond // the Cond being waited on (deadlock diagnostics)
+	done      *Cond // lazily created completion condition
 }
 
 // Engine returns the engine this Proc belongs to.
@@ -83,10 +83,10 @@ func (p *Proc) WaitUntil(t Time) {
 }
 
 // Block parks the Proc with no scheduled wake-up; something must later call
-// unblock (via Cond signalling). desc appears in deadlock reports.
-func (p *Proc) block(desc string) {
+// unblock (via Cond signalling). c's name appears in deadlock reports.
+func (p *Proc) block(c *Cond) {
 	p.state = stateBlocked
-	p.blockedOn = desc
+	p.blockedOn = c
 	p.eng.blocked++
 	p.eng.yield <- struct{}{}
 	p.now = <-p.resume
@@ -101,7 +101,7 @@ func (p *Proc) unblock(t Time) {
 		t = p.eng.now
 	}
 	p.state = stateWaiting
-	p.blockedOn = ""
+	p.blockedOn = nil
 	p.eng.blocked--
 	p.eng.schedule(&event{t: t, kind: evResume, proc: p})
 }

@@ -62,6 +62,25 @@ func (s *System) NewWorkgroup(originRow, originCol, rows, cols int) (*sdk.Workgr
 	return sdk.NewWorkgroup(s.chip, originRow, originCol, rows, cols)
 }
 
+// Reset restores a used System to a pristine board - virtual time zero,
+// memories zeroed, every statistic and link occupancy cleared - so the
+// 35 MB of board state can be recycled across experiments instead of
+// reallocated. A recycled System is bit-deterministic with a fresh one:
+// the same workload produces byte-identical Metrics either way (the
+// conformance harness pins this). Reset refuses a board whose engine is
+// not quiescent (a run that deadlocked, was stopped mid-flight, or
+// panicked); such a System must be discarded. Runner.RunBatch uses
+// Reset to pool one board per worker.
+func (s *System) Reset() error {
+	if err := s.eng.Reset(); err != nil {
+		return fmt.Errorf("epiphany: System not recyclable: %w", err)
+	}
+	s.chip.Reset()
+	s.host.Reset()
+	s.used = false
+	return nil
+}
+
 // Acquire reserves the System for one experiment. Workload
 // implementations must call it before touching the board so that a
 // stale System (whose virtual time and statistics are no longer clean)

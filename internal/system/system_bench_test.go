@@ -1,0 +1,19 @@
+package system
+
+import "testing"
+
+// sinkSys keeps the constructed System live across iterations.
+var sinkSys *System
+
+func benchConstruct(b *testing.B, t Topology) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSys = NewTopology(t)
+	}
+}
+
+func BenchmarkSystemConstructionE64(b *testing.B) { benchConstruct(b, E64) }
+
+func BenchmarkSystemConstructionCluster2x2(b *testing.B) {
+	benchConstruct(b, Cluster2x2)
+}

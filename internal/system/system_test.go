@@ -149,3 +149,64 @@ func TestNewWorkgroupSpansChips(t *testing.T) {
 		t.Fatal("workgroup larger than the board accepted")
 	}
 }
+
+// TestResetRecyclesBitIdentically is the System-level recycling
+// contract: Reset returns a used board to a state indistinguishable
+// from a fresh one, so the same experiment replays byte-identically -
+// results, statistics and all.
+func TestResetRecyclesBitIdentically(t *testing.T) {
+	fresh, err := New().RunStencil(tinyStencil())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := New()
+	if _, err := sys.RunStencil(tinyStencil()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Reset(); err != nil {
+		t.Fatalf("Reset after a clean run: %v", err)
+	}
+	if now := sys.Engine().Now(); now != 0 {
+		t.Fatalf("recycled engine starts at t=%v", now)
+	}
+	again, err := sys.RunStencil(tinyStencil())
+	if err != nil {
+		t.Fatalf("run on recycled System: %v", err)
+	}
+	if again.Elapsed != fresh.Elapsed || again.GFLOPS != fresh.GFLOPS {
+		t.Fatalf("recycled run %v/%v, fresh run %v/%v",
+			again.Elapsed, again.GFLOPS, fresh.Elapsed, fresh.GFLOPS)
+	}
+
+	// A different experiment on the recycled board also matches fresh.
+	mcfg := core.MatmulConfig{M: 16, N: 16, K: 16, G: 2, Verify: true, Seed: 3}
+	mfresh, err := New().RunMatmul(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	magain, err := sys.RunMatmul(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if magain.Elapsed != mfresh.Elapsed || magain.GFLOPS != mfresh.GFLOPS {
+		t.Fatalf("recycled matmul %v/%v, fresh %v/%v",
+			magain.Elapsed, magain.GFLOPS, mfresh.Elapsed, mfresh.GFLOPS)
+	}
+}
+
+func TestResetClearsAcquire(t *testing.T) {
+	s := New()
+	if err := s.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(); err != nil {
+		t.Fatalf("Acquire after Reset: %v", err)
+	}
+}

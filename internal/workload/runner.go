@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"epiphany/internal/system"
 )
 
 // Job pairs a workload with per-job options (appended after the
@@ -53,10 +55,13 @@ func (b *BatchResult) Err() error {
 }
 
 // Runner executes batches of workloads concurrently. Every job gets its
-// own fresh System (a System is single-use; sharing one across jobs
-// would blend virtual clocks and statistics), so each simulation stays
-// bit-deterministic: a batch produces byte-identical Metrics to running
-// the same jobs sequentially, in any interleaving.
+// own pristine System - built fresh, or recycled from the worker's
+// previous job through System.Reset when the topology matches (a System
+// is single-use between resets; sharing a live one across jobs would
+// blend virtual clocks and statistics). Either way each simulation
+// stays bit-deterministic: a batch produces byte-identical Metrics to
+// running the same jobs sequentially, in any interleaving, on fresh
+// boards.
 type Runner struct {
 	// Workers caps the number of concurrent simulations; <= 0 means
 	// GOMAXPROCS.
@@ -90,8 +95,9 @@ func (r *Runner) RunBatch(ctx context.Context, jobs []Job) (*BatchResult, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var pool sysPool
 			for i := range idx {
-				br.Results[i] = r.runJob(ctx, jobs[i])
+				br.Results[i] = r.runJob(ctx, jobs[i], &pool)
 			}
 		}()
 	}
@@ -108,11 +114,19 @@ feed:
 	wg.Wait()
 	for ; next < len(jobs); next++ {
 		if jobs[next].Workload != nil {
-			br.Results[next].Name = jobs[next].Workload.Name()
+			br.Results[next].Name = safeName(jobs[next].Workload)
 		}
 		br.Results[next].Err = ctx.Err()
 	}
 	return br, ctx.Err()
+}
+
+// safeName reports w.Name(), or the empty string when Name itself
+// panics - a job that never ran must not abort the batch while being
+// labelled for its result.
+func safeName(w Workload) (name string) {
+	defer func() { _ = recover() }()
+	return w.Name()
 }
 
 // RunWorkloads is RunBatch over bare workloads with no per-job options.
@@ -124,9 +138,36 @@ func (r *Runner) RunWorkloads(ctx context.Context, ws ...Workload) (*BatchResult
 	return r.RunBatch(ctx, jobs)
 }
 
-// runJob executes one job on a fresh System, converting panics (for
-// example from a malformed Initial field) into per-job errors.
-func (r *Runner) runJob(ctx context.Context, job Job) (jr JobResult) {
+// sysPool recycles at most one System per worker goroutine. get hands
+// out the cached board when the requested topology matches; put takes a
+// board back only after System.Reset has certified it pristine, so a
+// pooled System is always indistinguishable from a fresh one. Pools are
+// per-worker and therefore unsynchronized.
+type sysPool struct {
+	topo system.Topology
+	sys  *system.System
+}
+
+func (p *sysPool) get(topo system.Topology) *system.System {
+	if p.sys != nil && p.topo == topo {
+		sys := p.sys
+		p.sys = nil
+		return sys
+	}
+	p.sys = nil
+	return system.NewTopology(topo)
+}
+
+func (p *sysPool) put(topo system.Topology, sys *system.System) {
+	if sys.Reset() == nil {
+		p.topo, p.sys = topo, sys
+	}
+}
+
+// runJob executes one job on a pristine System from the worker's pool,
+// converting panics (for example from a malformed Initial field) into
+// per-job errors. A System a panic escaped from is never pooled.
+func (r *Runner) runJob(ctx context.Context, job Job, pool *sysPool) (jr JobResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			jr.Result = nil
@@ -141,6 +182,20 @@ func (r *Runner) runJob(ctx context.Context, job Job) (jr JobResult) {
 	opts := make([]Option, 0, len(r.Options)+len(job.Options))
 	opts = append(opts, r.Options...)
 	opts = append(opts, job.Options...)
-	jr.Result, jr.Err = Run(ctx, job.Workload, opts...)
+	w, rc, err := prepare(job.Workload, opts)
+	if err != nil {
+		jr.Err = err
+		return jr
+	}
+	if err := ctx.Err(); err != nil {
+		jr.Err = err
+		return jr
+	}
+	sys := pool.get(rc.topo)
+	jr.Result, jr.Err = runOn(ctx, w, sys, &rc)
+	// Reset certifies the board is recyclable even after a run error
+	// (a deadlocked or stopped board fails certification and is
+	// dropped).
+	pool.put(rc.topo, sys)
 	return jr
 }

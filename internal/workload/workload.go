@@ -107,20 +107,35 @@ func WithTrace(w io.Writer) Option {
 // Run validates w and executes it on a fresh System built according to
 // the options. It is the one-shot form of Runner.RunBatch.
 func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
-	if w == nil {
-		return nil, fmt.Errorf("epiphany: Run of nil workload")
+	w, rc, err := prepare(w, opts)
+	if err != nil {
+		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runOn(ctx, w, system.NewTopology(rc.topo), &rc)
+}
+
+// prepare applies the options and readies w for execution: topology
+// validation, reseeding, topology fitting, config validation. It
+// returns the workload to actually run (possibly a rebased or refitted
+// copy) and the resolved run configuration.
+func prepare(w Workload, opts []Option) (Workload, runConfig, error) {
 	rc := runConfig{topo: system.E64}
+	if w == nil {
+		return nil, rc, fmt.Errorf("epiphany: Run of nil workload")
+	}
 	for _, o := range opts {
 		o(&rc)
 	}
 	if err := rc.topo.Validate(); err != nil {
-		return nil, err
+		return nil, rc, err
 	}
 	if rc.seed != nil {
 		r, ok := w.(Reseeder)
 		if !ok {
-			return nil, fmt.Errorf("epiphany: workload %q does not support WithSeed", w.Name())
+			return nil, rc, fmt.Errorf("epiphany: workload %q does not support WithSeed", w.Name())
 		}
 		w = r.Reseed(*rc.seed)
 	}
@@ -128,19 +143,27 @@ func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
 		w = f.FitTopology(rc.topo.Rows(), rc.topo.Cols())
 	}
 	if err := w.Validate(); err != nil {
-		return nil, err
+		return nil, rc, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	sys := system.NewTopology(rc.topo)
+	return w, rc, nil
+}
+
+// runOn executes a prepared workload on sys (fresh from NewTopology, or
+// recycled through System.Reset) and emits the optional trace. Trace
+// write failures are surfaced as run errors, not dropped: a caller who
+// asked for the heatmaps and silently got none would misread the run.
+func runOn(ctx context.Context, w Workload, sys *system.System, rc *runConfig) (Result, error) {
 	res, err := w.Run(ctx, sys)
 	if err != nil {
 		return nil, err
 	}
 	if rc.trace != nil {
-		io.WriteString(rc.trace, trace.Take(sys.Chip()).String())
-		io.WriteString(rc.trace, trace.LinkHeat(sys.Chip()))
+		if _, err := io.WriteString(rc.trace, trace.Take(sys.Chip()).String()); err != nil {
+			return nil, fmt.Errorf("epiphany: writing trace for %q: %w", w.Name(), err)
+		}
+		if _, err := io.WriteString(rc.trace, trace.LinkHeat(sys.Chip())); err != nil {
+			return nil, fmt.Errorf("epiphany: writing trace for %q: %w", w.Name(), err)
+		}
 	}
 	return res, nil
 }

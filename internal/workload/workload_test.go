@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -244,6 +245,226 @@ func TestBuiltinsRunOnEveryTopology(t *testing.T) {
 			if !topo.MultiChip() && res.Metrics().ELinkCrossings != 0 {
 				t.Errorf("%s on %s: crossings on a single chip", w.Name(), topo.Name)
 			}
+		}
+	}
+}
+
+// errWriter fails after accepting limit bytes.
+type errWriter struct {
+	limit int
+	err   error
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.limit {
+		n := w.limit
+		w.limit = 0
+		return n, w.err
+	}
+	w.limit -= len(p)
+	return len(p), nil
+}
+
+func TestRunSurfacesTraceWriteErrors(t *testing.T) {
+	w := &Stencil{Config: core.StencilConfig{
+		Rows: 4, Cols: 4, Iters: 1, GroupRows: 1, GroupCols: 1, Seed: 1}}
+	boom := fmt.Errorf("disk full")
+
+	// A writer that fails immediately (mid first heatmap).
+	if _, err := Run(context.Background(), w, WithTrace(&errWriter{err: boom})); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped %v", err, boom)
+	}
+
+	// A writer that fails only on the second emission (the link heatmap):
+	// the first WriteString succeeding must not mask the second failing.
+	var probe bytes.Buffer
+	if _, err := Run(context.Background(), w, WithTrace(&probe)); err != nil {
+		t.Fatal(err)
+	}
+	headLen := bytes.Index(probe.Bytes(), []byte("eastbound link utilization"))
+	if headLen <= 0 {
+		t.Fatalf("trace output missing link heatmap:\n%s", probe.String())
+	}
+	if _, err := Run(context.Background(), w, WithTrace(&errWriter{limit: headLen, err: boom})); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped %v from the second trace write", err, boom)
+	}
+}
+
+func TestRunBatchZeroJobs(t *testing.T) {
+	r := &Runner{}
+	br, err := r.RunBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("RunBatch(nil) error: %v", err)
+	}
+	if len(br.Results) != 0 || br.Err() != nil || len(br.Failed()) != 0 {
+		t.Fatalf("empty batch result %+v not empty/clean", br)
+	}
+	if br, err = r.RunBatch(context.Background(), []Job{}); err != nil || len(br.Results) != 0 {
+		t.Fatalf("RunBatch([]) = %+v, %v", br, err)
+	}
+}
+
+func TestRunBatchMoreWorkersThanJobs(t *testing.T) {
+	r := &Runner{Workers: 64}
+	br, err := r.RunWorkloads(context.Background(),
+		&probe{name: "small-batch-a"}, &probe{name: "small-batch-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(br.Results); got != 2 {
+		t.Fatalf("batch of 2 returned %d results", got)
+	}
+	for i, jr := range br.Results {
+		if jr.Err != nil || jr.Result == nil {
+			t.Fatalf("job %d: %+v", i, jr)
+		}
+	}
+}
+
+// namePanicker panics in Name itself - before runJob can record any
+// identity for the job.
+type namePanicker struct{}
+
+func (namePanicker) Name() string    { panic("no name for you") }
+func (namePanicker) Validate() error { return nil }
+func (namePanicker) Run(ctx context.Context, sys *system.System) (Result, error) {
+	return fixedResult{}, nil
+}
+
+func TestRunBatchPanickingName(t *testing.T) {
+	r := &Runner{Workers: 1}
+	br, err := r.RunWorkloads(context.Background(),
+		namePanicker{}, &probe{name: "after-panicker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := br.Results[0]
+	if jr.Err == nil || !strings.Contains(jr.Err.Error(), "panicked") {
+		t.Fatalf("panicking Name produced %+v, want a captured panic error", jr)
+	}
+	// Name never returned, so the report cannot carry one; the recover
+	// path deliberately reports the empty name rather than guessing.
+	if jr.Name != "" {
+		t.Fatalf("panicking Name still reported name %q", jr.Name)
+	}
+	if jr.Result != nil {
+		t.Fatal("panicking job carries a result")
+	}
+	// The panic neither kills the batch nor poisons the worker's pool.
+	if jr := br.Results[1]; jr.Err != nil || jr.Name != "after-panicker" {
+		t.Fatalf("job after panicker: %+v", jr)
+	}
+}
+
+// TestRunBatchPanickingNameAfterCancel covers the other path a
+// panicking Name can take: a job still unfed when the context is
+// cancelled is labelled for its JobResult by the leftover loop, and
+// that labelling must not let the panic abort the batch. Whether the
+// panicking job is fed to the worker before the feeder observes the
+// cancellation is inherently racy, so both outcomes are accepted - the
+// invariant is that RunBatch survives and reports per job.
+func TestRunBatchPanickingNameAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := []Job{
+		{Workload: &canceller{cancel: cancel}},
+		{Workload: namePanicker{}},
+	}
+	r := &Runner{Workers: 1}
+	br, err := r.RunBatch(ctx, jobs) // must not panic
+	if err != context.Canceled {
+		t.Fatalf("RunBatch error = %v, want context.Canceled", err)
+	}
+	jr := br.Results[1]
+	switch {
+	case jr.Err == context.Canceled && jr.Name == "":
+		// Never fed: the leftover loop labelled it via safeName.
+	case jr.Err != nil && strings.Contains(jr.Err.Error(), "panicked"):
+		// Fed before the feeder saw the cancellation: runJob captured it.
+	default:
+		t.Fatalf("panicking-Name job reported %+v, want ctx error or captured panic", jr)
+	}
+}
+
+// sysRecorder records the *system.System pointer each run received.
+type sysRecorder struct {
+	name string
+	seen *[]*system.System
+}
+
+func (s *sysRecorder) Name() string    { return s.name }
+func (s *sysRecorder) Validate() error { return nil }
+func (s *sysRecorder) Run(ctx context.Context, sys *system.System) (Result, error) {
+	if err := sys.Acquire(); err != nil {
+		return nil, err
+	}
+	*s.seen = append(*s.seen, sys)
+	return fixedResult{}, nil
+}
+
+// TestRunnerPoolsSystemsPerWorker proves the recycling path is actually
+// taken: consecutive same-topology jobs on a one-worker batch run on
+// the same board (recycled through Reset), and a topology change forces
+// a rebuild.
+func TestRunnerPoolsSystemsPerWorker(t *testing.T) {
+	var seen []*system.System
+	w := &sysRecorder{name: "sys-recorder", seen: &seen}
+	r := &Runner{Workers: 1}
+	jobs := []Job{
+		{Workload: w},
+		{Workload: w},
+		{Workload: w, Options: []Option{WithTopology(system.E16)}},
+		{Workload: w},
+	}
+	br, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("recorded %d systems, want 4", len(seen))
+	}
+	if seen[0] != seen[1] {
+		t.Error("consecutive same-topology jobs did not recycle the worker's System")
+	}
+	if seen[1] == seen[2] {
+		t.Error("topology change reused the cached System")
+	}
+	if seen[2] == seen[3] {
+		t.Error("default-topology job reused the E16 board")
+	}
+}
+
+// TestRunnerRecycledSystemsBitDeterministic is the semantic half of the
+// pooling contract: a batch that recycles boards produces byte-identical
+// Metrics to one-shot runs on fresh boards.
+func TestRunnerRecycledSystemsBitDeterministic(t *testing.T) {
+	names := []string{"stencil-tuned", "matmul-cannon", "stencil-tuned", "matmul-cannon"}
+	jobs := make([]Job, len(names))
+	for i, n := range names {
+		w, ok := ByName(n)
+		if !ok {
+			t.Fatalf("workload %q not registered", n)
+		}
+		jobs[i] = Job{Workload: w}
+	}
+	r := &Runner{Workers: 1} // one worker => jobs 2 and 3 run on recycled boards
+	br, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range br.Results {
+		w, _ := ByName(names[i])
+		fresh, err := Run(context.Background(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := jr.Result.Metrics(), fresh.Metrics(); got != want {
+			t.Errorf("job %d (%s) on a recycled board drifted:\n got  %+v\n want %+v", i, names[i], got, want)
 		}
 	}
 }
