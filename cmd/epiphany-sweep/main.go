@@ -1,0 +1,140 @@
+// Command epiphany-sweep runs declarative experiment sweeps: a
+// workload x topology x seed grid executed on the concurrent batch
+// Runner, aggregated into a scaling table with speedup, parallel
+// efficiency and chip-boundary crossing columns derived against a
+// baseline topology.
+//
+// Output is deterministic: the same invocation produces bit-identical
+// bytes on every run and with any -workers value, so redirected sweep
+// output can be checked in as a golden scaling table.
+//
+// Usage:
+//
+//	epiphany-sweep                              # all workloads x {e16, e64, cluster-2x2}
+//	epiphany-sweep -list                        # list workloads and topology presets
+//	epiphany-sweep -workloads stencil-tuned,matmul-offchip -topos e64,cluster-2x2
+//	epiphany-sweep -topos e16,4x8,e64           # ad-hoc single-chip meshes mix in
+//	epiphany-sweep -topos cluster-2x2,cluster-2x2/c2c=40:600   # sweep the c2c link speed
+//	epiphany-sweep -seeds 1,2,3 -baseline e64   # seed axis, speedup vs the e64 cells
+//	epiphany-sweep -format csv -o sweep.csv     # machine-grade golden output
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"epiphany"
+)
+
+func main() {
+	workloads := flag.String("workloads", "all", `workloads to sweep: "all" or a comma-separated name list`)
+	topos := flag.String("topos", "", `topology axis: comma-separated presets ("e16"), meshes ("4x8"), optional "/c2c=BYTE:HOP" overrides; empty = all presets`)
+	seeds := flag.String("seeds", "", "seed axis: comma-separated uint64s; empty = each workload's default seed")
+	baseline := flag.String("baseline", "", "topology key the speedup/efficiency columns compare against (default: smallest on the axis)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); never affects the output bytes")
+	format := flag.String("format", "text", "output format: text, markdown, csv or json")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	list := flag.Bool("list", false, "list registered workloads and topology presets")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range epiphany.Workloads() {
+			fmt.Printf("  %s\n", w.Name())
+		}
+		fmt.Println("topology presets (ad-hoc meshes like 4x8 and /c2c=BYTE:HOP overrides also accepted):")
+		for _, t := range epiphany.Topologies() {
+			fmt.Printf("  %s\n", t)
+		}
+		return
+	}
+
+	plan, err := buildPlan(*workloads, *topos, *seeds, *baseline)
+	if err != nil {
+		fail(err)
+	}
+	res, err := epiphany.Sweep(context.Background(), plan, *workers)
+	if err != nil {
+		fail(err)
+	}
+
+	var rendered []byte
+	switch *format {
+	case "text":
+		rendered = []byte(res.Text())
+	case "markdown", "md":
+		rendered = []byte(res.Markdown())
+	case "csv":
+		rendered = []byte(res.CSV())
+	case "json":
+		rendered, err = res.JSON()
+		if err == nil {
+			rendered = append(rendered, '\n')
+		}
+	default:
+		err = fmt.Errorf("unknown -format %q (text, markdown, csv, json)", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(rendered)
+	} else if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+		fail(err)
+	}
+
+	// Failed cells keep the table shape but must fail the invocation:
+	// CI smoke runs rely on the exit status.
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			fmt.Fprintf(os.Stderr, "cell %s/%s failed: %s\n", c.Workload, c.Topology, c.Err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildPlan translates the comma-separated flags into a SweepPlan.
+func buildPlan(workloads, topos, seeds, baseline string) (epiphany.SweepPlan, error) {
+	var p epiphany.SweepPlan
+	p.Baseline = baseline
+	if workloads != "" && workloads != "all" {
+		for _, name := range splitList(workloads) {
+			p.Workloads = append(p.Workloads, name)
+		}
+	}
+	for _, spec := range splitList(topos) {
+		t, err := epiphany.ParseSweepTopo(spec)
+		if err != nil {
+			return p, err
+		}
+		p.Topos = append(p.Topos, t)
+	}
+	for _, s := range splitList(seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed %q: %v", s, err)
+		}
+		p.Seeds = append(p.Seeds, v)
+	}
+	return p, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -70,6 +70,78 @@ var golden = map[goldenKey]goldenMetrics{
 	{"e16", "stream-stencil-deep"}: {5663715, 1310720, 0x3fe6377a6135257b, 0x400ced9203e7de23},
 }
 
+// clusterMetrics extends goldenMetrics with the chip-boundary traffic
+// counters, which are the cluster's whole point: the 2x2 board is only
+// conformant if it crosses the right chips the right number of times at
+// the right cost.
+type clusterMetrics struct {
+	elapsed    uint64
+	totalFlops uint64
+	gflopsBits uint64
+	pctBits    uint64
+	crossings  uint64
+	crossBytes uint64
+	crossTime  uint64
+}
+
+// clusterGolden pins every registered workload on the 2x2 Parallella
+// cluster, bit for bit. Generated from this implementation (the first
+// to price multi-chip routes; PR 3's delivery-overcharge fix is
+// baked in). Workloads whose fitted workgroup sits inside one chip
+// cross nothing and keep their single-chip timings exactly; the
+// chip-spanning ones (matmul-offchip, stream-stencil*) pay the
+// chip-to-chip eLink. Regenerate like the single-chip table: run each
+// workload with WithTopology(TopologyCluster2x2) and print the metric
+// bits - and say why in the commit message.
+var clusterGolden = map[string]clusterMetrics{
+	"matmul-cannon":       {124515, 524288, 0x4029438b8657fde1, 0x405072a42b769e9f, 0, 0, 0},
+	"matmul-offchip":      {4193273, 4194304, 0x40080182b855d186, 0x400f41f78aafbe27, 832, 362368, 19188975},
+	"matmul-single":       {175830, 65536, 0x3ff1e4073bb0eca2, 0x40574b9415b90973, 0, 0, 0},
+	"matmul-summa":        {193603, 524288, 0x40203f936c80344c, 0x4045281d4a9c4419, 0, 0, 0},
+	"stencil-cross":       {243755, 320000, 0x400f81cdc46b90a7, 0x4054832ca1360782, 0, 0, 0},
+	"stencil-direct":      {238590, 320000, 0x40101834ca46c06d, 0x4054f4da120c1fe3, 0, 0, 0},
+	"stencil-naive":       {1311190, 320000, 0x3fe76dd96a8ab844, 0x402e81b3180f4a99, 0, 0, 0},
+	"stencil-replicated":  {218150, 320000, 0x40119a41d566db90, 0x4056eb85b888988e, 0, 0, 0},
+	"stencil-single":      {218150, 80000, 0x3ff19a41d566db90, 0x4056eb85b888988e, 0, 0, 0},
+	"stencil-tuned":       {239340, 320000, 0x40100b4b8925287f, 0x4054e40a5a930cbb, 0, 0, 0},
+	"stream-stencil":      {8198344, 1310720, 0x3fdeb23c06676f34, 0x3fe3fc09bed601bc, 768, 401472, 57145664},
+	"stream-stencil-deep": {5682688, 1310720, 0x3fe6247d3294f466, 0x3fecd4d859dc9e3b, 384, 277792, 42075013},
+}
+
+// TestGoldenMetricsCluster2x2 pins every registered workload's metrics
+// on the 2x2 Parallella cluster - including the chip-boundary crossing
+// counters - to the frozen table above, bit for bit. (Before this
+// table, the cluster was only smoke-checked for nonzero crossing time.)
+func TestGoldenMetricsCluster2x2(t *testing.T) {
+	for _, w := range epiphany.Workloads() {
+		want, ok := clusterGolden[w.Name()]
+		if !ok {
+			if _, builtin := golden[goldenKey{"e64", w.Name()}]; builtin {
+				t.Errorf("%s: no cluster golden entry - add one when registering a new built-in", w.Name())
+			}
+			continue
+		}
+		res, err := epiphany.Run(context.Background(), w, epiphany.WithTopology(epiphany.TopologyCluster2x2))
+		if err != nil {
+			t.Errorf("%s on cluster-2x2: %v", w.Name(), err)
+			continue
+		}
+		m := res.Metrics()
+		got := clusterMetrics{
+			elapsed:    uint64(m.Elapsed),
+			totalFlops: m.TotalFlops,
+			gflopsBits: math.Float64bits(m.GFLOPS),
+			pctBits:    math.Float64bits(m.PctPeak),
+			crossings:  m.ELinkCrossings,
+			crossBytes: m.ELinkCrossBytes,
+			crossTime:  uint64(m.ELinkCrossTime),
+		}
+		if got != want {
+			t.Errorf("%s on cluster-2x2 drifted from golden metrics:\n got %+v\n want %+v", w.Name(), got, want)
+		}
+	}
+}
+
 func checkGolden(t *testing.T, topo epiphany.Topology, w epiphany.Workload, m epiphany.Metrics) {
 	t.Helper()
 	want, ok := golden[goldenKey{topo.Name, w.Name()}]

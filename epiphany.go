@@ -27,7 +27,10 @@
 //     kept so existing callers compile.
 //
 //   - Experiment level: the Experiments list regenerates every table and
-//     figure from the paper's evaluation.
+//     figure from the paper's evaluation, and Sweep runs declarative
+//     workload x topology x seed grids into deterministic scaling
+//     tables (speedup, parallel efficiency, chip-boundary crossing
+//     share) against a named baseline.
 //
 // Every simulation is bit-deterministic: the same program and seed
 // produce identical virtual timings and memory contents on every run,

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,11 +18,13 @@ import (
 )
 
 func main() {
+	n := flag.Int("n", 512, "problem edge (divisible by the 8x8 grid's paging tiles)")
+	flag.Parse()
 	cfg := epiphany.MatmulConfig{
-		M: 512, N: 512, K: 512, G: 8,
+		M: *n, N: *n, K: *n, G: 8,
 		OffChip: true, Tuned: true, Verify: true, Seed: 3,
 	}
-	fmt.Println("multiplying 512x512 matrices through shared DRAM (this simulates ~30ms of device time)...")
+	fmt.Printf("multiplying %dx%d matrices through shared DRAM (the default 512x512 simulates ~30ms of device time)...\n", *n, *n)
 	r, err := epiphany.Run(context.Background(), &epiphany.MatmulWorkload{Label: "bigmatmul", Config: cfg})
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,11 +20,12 @@ const (
 	groupRows, groupCols = 4, 8
 	perCoreRows          = 40
 	perCoreCols          = 20
-	iters                = 400
 	hotTemp              = 100.0
 )
 
 func main() {
+	iters := flag.Int("iters", 400, "diffusion iterations")
+	flag.Parse()
 	gRows := groupRows*perCoreRows + 2
 	gCols := groupCols*perCoreCols + 2
 	field := make([][]float32, gRows)
@@ -36,7 +38,7 @@ func main() {
 	}
 
 	cfg := epiphany.StencilConfig{
-		Rows: perCoreRows, Cols: perCoreCols, Iters: iters,
+		Rows: perCoreRows, Cols: perCoreCols, Iters: *iters,
 		GroupRows: groupRows, GroupCols: groupCols,
 		Comm: true, Tuned: true,
 		// Pure averaging diffusion: centre keeps half, neighbours share.
@@ -54,7 +56,7 @@ func main() {
 	res := r.(*epiphany.StencilResult)
 
 	fmt.Printf("\nafter %d iterations (%v simulated, %.1f GFLOPS, %.1f%% of peak):\n",
-		iters, res.Elapsed, res.GFLOPS, res.PctPeak)
+		*iters, res.Elapsed, res.GFLOPS, res.PctPeak)
 	render(res.Global, 0)
 }
 

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -22,10 +23,13 @@ import (
 )
 
 const (
-	width, height = 96, 64 // pixels; split 8x8 -> 12x8 per core
-	maxIter       = 200
+	width, height = 96, 64           // pixels; split 8x8 -> 12x8 per core
 	outOff        = mem.Addr(0x4000) // per-core tile buffer
 )
+
+// maxIter is the escape-time iteration cap (flag-settable so the smoke
+// tests can render a cheap frame).
+var maxIter = 200
 
 // mandelbrot renders the set across an 8x8 workgroup. It implements
 // epiphany.Workload, so it registers, validates, runs and batches like
@@ -117,6 +121,8 @@ func (mandelbrot) Run(ctx context.Context, sys *epiphany.System) (epiphany.Resul
 }
 
 func main() {
+	flag.IntVar(&maxIter, "max-iter", maxIter, "escape-time iteration cap")
+	flag.Parse()
 	epiphany.Register(mandelbrot{})
 
 	w, ok := epiphany.WorkloadByName("mandelbrot")

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -24,9 +25,12 @@ import (
 const (
 	flagOff mem.Addr = 0x7000
 	dataOff mem.Addr = 0x4000
-	loops            = 100
 	words            = 20 // 80-byte messages, as in Table I
 )
+
+// loops is the measured round trips per distance (flag-settable so the
+// smoke tests can run a short exchange).
+var loops = 100
 
 // pingpong measures the round trip between core (0,0) and core
 // (tr,tc). It implements epiphany.Workload, so the four distances batch
@@ -72,7 +76,7 @@ func (p pingpong) Run(ctx context.Context, sys *epiphany.System) (epiphany.Resul
 			c.StoreGlobal32(c.GlobalOn(p.tr, p.tc, flagOff), uint32(i))
 			c.WaitLocal32GE(flagOff, uint32(i))
 		}
-		rt = c.CtimerElapsed(0) / loops
+		rt = c.CtimerElapsed(0) / epiphany.Time(loops)
 	})
 	if err := sys.Engine().Run(); err != nil {
 		return nil, err
@@ -81,6 +85,8 @@ func (p pingpong) Run(ctx context.Context, sys *epiphany.System) (epiphany.Resul
 }
 
 func main() {
+	flag.IntVar(&loops, "loops", loops, "round trips per distance")
+	flag.Parse()
 	targets := [][2]int{{0, 1}, {1, 1}, {3, 3}, {7, 7}}
 	var jobs []epiphany.Job
 	for _, tgt := range targets {

@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,17 +15,21 @@ import (
 )
 
 func main() {
+	iters := flag.Int("iters", 25, "stencil iterations")
+	n := flag.Int("n", 256, "matmul problem edge (divisible by 8)")
+	flag.Parse()
+
 	// 1. The heat stencil: a 40x20 grid per core on a 2x2 workgroup,
 	// exchanging boundary rows/columns by DMA every iteration.
 	scfg := epiphany.StencilConfig{
-		Rows: 40, Cols: 20, Iters: 25,
+		Rows: 40, Cols: 20, Iters: *iters,
 		GroupRows: 2, GroupCols: 2,
 		Comm: true, Tuned: true, Seed: 1,
 	}
-	// 2. On-chip Cannon matrix multiplication: 256x256 over all 64
-	// cores, 32x32 per core with the paper's half-buffer rotation.
+	// 2. On-chip Cannon matrix multiplication: n x n (256x256 by
+	// default) over all 64 cores with the paper's half-buffer rotation.
 	mcfg := epiphany.MatmulConfig{
-		M: 256, N: 256, K: 256, G: 8,
+		M: *n, N: *n, K: *n, G: 8,
 		Tuned: true, Verify: true, Seed: 2,
 	}
 

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,10 +20,14 @@ import (
 )
 
 func main() {
+	size := flag.Int("size", 512, "global grid edge (divisible by 8x the block edge)")
+	block := flag.Int("block", 32, "per-core block edge")
+	iters := flag.Int("iters", 16, "stencil iterations")
+	flag.Parse()
 	base := epiphany.StreamStencilConfig{
-		GlobalRows: 512, GlobalCols: 512,
-		BlockRows: 32, BlockCols: 32,
-		Iters:     16,
+		GlobalRows: *size, GlobalCols: *size,
+		BlockRows: *block, BlockCols: *block,
+		Iters:     *iters,
 		GroupRows: 8, GroupCols: 8,
 		Seed: 1,
 	}
@@ -44,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("512x512 grid, 16 iterations, streamed through shared DRAM:")
+	fmt.Printf("%dx%d grid, %d iterations, streamed through shared DRAM:\n", *size, *size, *iters)
 	fmt.Printf("%-4s %-12s %-10s %-10s %s\n", "T", "time", "GFLOPS", "DRAM MB", "redundant work")
 
 	var first [][]float32

@@ -1,0 +1,49 @@
+package epiphany_test
+
+// Smoke tests for the example programs: each must build and run to
+// completion on a tiny problem size. The examples self-verify against
+// host references and exit nonzero on any diff, so a clean exit is a
+// real correctness check, not just a compile check.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// exampleSmokes shrinks each example to a problem that simulates in
+// well under a second; the flags default to the showcase sizes.
+var exampleSmokes = []struct {
+	name string
+	args []string
+	want string // a marker the healthy output always contains
+}{
+	{"quickstart", []string{"-iters", "2", "-n", "64"}, "max |diff| vs host reference"},
+	{"heat", []string{"-iters", "4"}, "after 4 iterations"},
+	// 256 keeps the off-chip pager on the paper's 32-wide tiles; smaller
+	// G=8 sizes hit the known schemeDouble forwarding race (see
+	// TestOffChipMatmulSchemeDoubleRaceKnown in internal/core).
+	{"bigmatmul", []string{"-n", "256"}, "max |diff| vs host ref"},
+	{"mandelbrot", []string{"-max-iter", "16"}, "GFLOPS achieved"},
+	{"pingpong", []string{"-loops", "3"}, "mutex demo"},
+	{"streaming", []string{"-size", "128", "-block", "16", "-iters", "8"}, "bit-identical to global Jacobi"},
+}
+
+func TestExamplesRunToCompletion(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	for _, ex := range exampleSmokes {
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", "./examples/" + ex.name}, ex.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go %v: %v\n%s", args, err, out)
+			}
+			if !strings.Contains(string(out), ex.want) {
+				t.Errorf("output of %s lacks %q:\n%s", ex.name, ex.want, out)
+			}
+		})
+	}
+}

@@ -175,18 +175,7 @@ func ExtTopologyScaling() *Table {
 // usedCores reports how many cores the workload's (topology-fitted)
 // workgroup occupies on the given board.
 func usedCores(w workload.Workload, topo system.Topology) int {
-	if f, ok := w.(workload.TopologyFitter); ok {
-		w = f.FitTopology(topo.Rows(), topo.Cols())
-	}
-	switch c := w.(type) {
-	case *workload.Stencil:
-		return c.Config.GroupRows * c.Config.GroupCols
-	case *workload.Matmul:
-		return c.Config.G * c.Config.G
-	case *workload.StreamStencil:
-		return c.Config.GroupRows * c.Config.GroupCols
-	}
-	return topo.NumCores()
+	return workload.UsedCores(w, topo.Rows(), topo.Cols())
 }
 
 // AblationCannonVsSumma compares the paper's Cannon implementation with

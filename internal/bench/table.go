@@ -10,6 +10,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"epiphany/internal/tabular"
 )
 
 // Table is one regenerated table or figure data series.
@@ -31,50 +33,18 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// String renders the table as aligned text.
+// String renders the table as aligned text: the "ID: Title" banner, the
+// aligned cell grid (delegated to the shared tabular formatter the
+// sweep tables also use), then the footnotes.
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	sep := make([]string, len(t.Header))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, r := range t.Rows {
-		line(r)
-	}
+	grid := tabular.Table{Header: t.Header, Rows: t.Rows}
+	b.WriteString(grid.Text())
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // f1, f2, f3 format floats at fixed precision.

@@ -195,3 +195,30 @@ func TestMatmulDeterministic(t *testing.T) {
 		t.Fatalf("results differ across runs: %g", d)
 	}
 }
+
+// TestOffChipMatmulSchemeDoubleRaceKnown documents a latent protocol
+// bug the example smoke tests surfaced: off-chip runs whose per-core
+// tile is smaller than 32 on an 8x8 group (edge 8/16/24, schemeDouble)
+// produce a wrong product. The double-buffer rotation posts its
+// compute-done flag *before* forwarding its current buffers, so a
+// neighbour - gated only on that flag - may overwrite a buffer that is
+// still being forwarded. On-chip runs start in lockstep and never open
+// the window; the off-chip driver's eLink-serialized tile loads skew
+// core start times by enough to hit it (the registered matmul-offchip
+// preset, M=128 G=8 edge=16, is affected - its conformance goldens pin
+// the timing of a run whose data is corrupt).
+//
+// The fix is a protocol change (gate buffer overwrites on the target's
+// sends completing, not its compute completing) and will shift every
+// schemeDouble timing, so it must regenerate the matmul goldens in a
+// PR of its own. Until then this test pins the symptom: if the product
+// comes out right, the race was fixed - remove the skip and regenerate
+// the matmul-offchip conformance and sweep goldens in the same change.
+func TestOffChipMatmulSchemeDoubleRaceKnown(t *testing.T) {
+	cfg := MatmulConfig{M: 128, N: 128, K: 128, G: 8, OffChip: true, Tuned: true, Verify: true, Seed: 3}
+	res := runMM(t, cfg)
+	if d := MaxAbsDiff(res.C, MatmulReference(cfg)); d != 0 {
+		t.Skipf("known issue: off-chip schemeDouble race corrupts g=8 sub-32 tiles (max |diff| %g); see comment above", d)
+	}
+	t.Error("off-chip schemeDouble race appears fixed: remove this skip and regenerate the matmul-offchip conformance and sweep goldens")
+}

@@ -214,3 +214,63 @@ func FuzzBoardDeliverDeterminism(f *testing.F) {
 		}
 	})
 }
+
+// TestBoardC2COverrides prices deliveries under overridden chip-to-chip
+// timing with the same expected-value arithmetic as the tests above,
+// and checks the override's contract: zero arguments are no-ops, and
+// Reset keeps the override (it is a property of the board, not a run).
+func TestBoardC2COverrides(t *testing.T) {
+	_, m := newBoardMesh()
+	idx := m.Map().CoreIndex
+	n := 64
+
+	byteP, hopL := 2*C2CBytePeriod, 3*C2CHopLatency
+	m.SetC2C(byteP, hopL)
+	if bp, hl := m.C2C(); bp != byteP || hl != hopL {
+		t.Fatalf("C2C() = (%v, %v), want (%v, %v)", bp, hl, byteP, hopL)
+	}
+	serX := sim.Time(n) * byteP
+
+	// One boundary hop under the slower link: store-and-forward at the
+	// overridden rate plus the overridden crossing latency.
+	got := m.Deliver(0, idx(0, 3), idx(0, 4), n)
+	if want := serX + hopL; got != want {
+		t.Fatalf("overridden boundary arrival %v, want %v", got, want)
+	}
+	if m.CrossTime() != serX+hopL {
+		t.Fatalf("CrossTime %v, want %v", m.CrossTime(), serX+hopL)
+	}
+
+	// Intra-chip routes never see the override.
+	ser := LinkSerialization(n)
+	if got := m.Deliver(0, idx(0, 0), idx(0, 3), n); got != 3*HopLatency+ser {
+		t.Fatalf("intra-chip arrival %v under override, want %v", got, 3*HopLatency+ser)
+	}
+
+	// The read network pays the overridden crossing latency per boundary.
+	base := ReadWordRoundTrip + 2*HopLatency
+	if got := m.ReadWord(0, idx(0, 3), idx(0, 4)); got != base+2*hopL {
+		t.Fatalf("cross-chip ReadWord %v, want %v", got, base+2*hopL)
+	}
+
+	// Reset clears occupancy and stats but keeps the board's link timing.
+	m.Reset()
+	if bp, hl := m.C2C(); bp != byteP || hl != hopL {
+		t.Fatalf("Reset dropped the C2C override: (%v, %v)", bp, hl)
+	}
+	if got := m.Deliver(0, idx(0, 3), idx(0, 4), n); got != serX+hopL {
+		t.Fatalf("post-Reset boundary arrival %v, want %v", got, serX+hopL)
+	}
+
+	// Zero arguments keep the current values.
+	m.SetC2C(0, 0)
+	if bp, hl := m.C2C(); bp != byteP || hl != hopL {
+		t.Fatalf("SetC2C(0,0) changed timing to (%v, %v)", bp, hl)
+	}
+
+	// A fresh mesh defaults to the calibrated constants.
+	_, fresh := newBoardMesh()
+	if bp, hl := fresh.C2C(); bp != C2CBytePeriod || hl != C2CHopLatency {
+		t.Fatalf("fresh mesh C2C = (%v, %v), want calibrated defaults", bp, hl)
+	}
+}

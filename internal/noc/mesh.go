@@ -73,6 +73,13 @@ type Mesh struct {
 	// (chip-relative) row 2 and column 2 issue twice, halving their read
 	// throughput. DMA and writes are unaffected, per the datasheet.
 	errata0 bool
+	// c2cByte and c2cHop are this board's chip-to-chip eLink timing
+	// parameters, defaulting to the calibrated C2CBytePeriod and
+	// C2CHopLatency. They are construction-time properties of the fabric
+	// (SetC2C models a faster or slower off-chip link), so Reset keeps
+	// them: a recycled board stays the same board.
+	c2cByte sim.Time
+	c2cHop  sim.Time
 	// stats
 	writes uint64
 	bytes  uint64
@@ -84,7 +91,10 @@ type Mesh struct {
 
 // NewMesh builds the eMesh for the given address map.
 func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
-	m := &Mesh{eng: eng, amap: amap, rows: amap.Rows, cols: amap.Cols}
+	m := &Mesh{
+		eng: eng, amap: amap, rows: amap.Rows, cols: amap.Cols,
+		c2cByte: C2CBytePeriod, c2cHop: C2CHopLatency,
+	}
 	m.chipRows, m.chipCols = amap.ChipDims()
 	gridRows, gridCols := amap.ChipGrid()
 	// Shared chip-to-chip eLink slots, resolved by index: one pair per
@@ -184,7 +194,7 @@ func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) 
 		ls.freeAt = begin + serX
 		ls.busy += serX
 		ls.uses++
-		next := begin + serX + C2CHopLatency
+		next := begin + serX + m.c2cHop
 		m.crossings++
 		m.crossBytes += uint64(n)
 		m.crossTime += next - cur
@@ -223,7 +233,7 @@ func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 		return t
 	}
 	ser := LinkSerialization(n)
-	serX := C2CSerialization(n)
+	serX := sim.Time(n) * m.c2cByte
 	sr, sc := m.amap.CoreCoords(src)
 	dr, dc := m.amap.CoreCoords(dst)
 	cur := t
@@ -262,6 +272,27 @@ func (m *Mesh) CrossBytes() uint64 { return m.crossBytes }
 // latency), summed over deliveries.
 func (m *Mesh) CrossTime() sim.Time { return m.crossTime }
 
+// SetC2C overrides the chip-to-chip eLink timing: the per-byte
+// serialization period and the per-crossing head latency, in sim.Time
+// units. A zero argument keeps the corresponding calibrated default
+// (C2CBytePeriod, C2CHopLatency), so SetC2C(0, 0) is a no-op. The
+// override is a property of the board, not of a run: Reset preserves
+// it, and it has no effect on a single-chip mesh (which has no
+// boundary links to apply it to).
+func (m *Mesh) SetC2C(bytePeriod, hopLatency sim.Time) {
+	if bytePeriod > 0 {
+		m.c2cByte = bytePeriod
+	}
+	if hopLatency > 0 {
+		m.c2cHop = hopLatency
+	}
+}
+
+// C2C reports the board's chip-to-chip eLink timing parameters.
+func (m *Mesh) C2C() (bytePeriod, hopLatency sim.Time) {
+	return m.c2cByte, m.c2cHop
+}
+
 // SetErrata0 toggles the Errata #0 duplicate-read model (off by default;
 // the paper's benchmarks avoid the affected paths, as do ours).
 func (m *Mesh) SetErrata0(on bool) { m.errata0 = on }
@@ -288,7 +319,7 @@ func (m *Mesh) ReadWord(t sim.Time, src, dst int) (done sim.Time) {
 	hops := sim.Time(m.Distance(src, dst))
 	cost := ReadWordRoundTrip + 2*hops*HopLatency
 	if x := m.amap.ChipCrossings(src, dst); x > 0 {
-		cost += 2 * sim.Time(x) * C2CHopLatency
+		cost += 2 * sim.Time(x) * m.c2cHop
 	}
 	if m.errata0Hits(src) {
 		cost *= 2 // the transaction issues twice

@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"epiphany/internal/tabular"
+	"epiphany/internal/workload"
+)
+
+// CellResult is one executed grid cell with its derived scaling
+// columns. A failed cell (validation error, run error, panic) carries
+// the failure in Err with zero Metrics; it still occupies its grid
+// position so tables keep their shape.
+type CellResult struct {
+	Workload string  `json:"workload"`
+	Topology string  `json:"topology"` // the Topo key
+	Seed     *uint64 `json:"seed,omitempty"`
+	// Cores is the number of cores the workload's topology-fitted
+	// workgroup occupies; the efficiency denominator.
+	Cores   int              `json:"cores"`
+	Err     string           `json:"error,omitempty"`
+	Metrics workload.Metrics `json:"metrics"`
+	// Speedup is baseline elapsed time over this cell's elapsed time,
+	// where the baseline is the same workload and seed on the plan's
+	// baseline topology (1 for the baseline cell itself; 0 when the
+	// baseline is missing or either cell failed).
+	Speedup float64 `json:"speedup"`
+	// Efficiency is parallel efficiency: speedup scaled by the ratio of
+	// baseline cores to this cell's cores.
+	Efficiency float64 `json:"efficiency"`
+	// CrossShare is the chip-to-chip eLink crossing time relative to the
+	// run's elapsed time. Crossing time is summed over deliveries, so -
+	// like a multi-core CPU percentage - concurrent crossings can push
+	// the value above 1 (0 on single-chip boards).
+	CrossShare float64 `json:"cross_share"`
+}
+
+// Result is an executed sweep: the normalized plan and one CellResult
+// per expanded cell, in expansion order.
+type Result struct {
+	Plan  Plan         `json:"plan"`
+	Cells []CellResult `json:"cells"`
+}
+
+// Run normalizes and expands the plan, executes every cell on a pooled
+// workload.Runner with the given worker count (<= 0 means GOMAXPROCS),
+// and derives the scaling columns. Per-cell failures are recorded in
+// the cells, not returned; the returned error is reserved for plan
+// errors and context cancellation. The result is bit-deterministic:
+// the same plan produces identical cells (and therefore identical
+// rendered output) on every run, with any worker count.
+func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	cells := p.Expand()
+	jobs := make([]workload.Job, len(cells))
+	cores := make([]int, len(cells))
+	for i, c := range cells {
+		w, ok := workload.ByName(c.Workload)
+		if !ok {
+			return nil, fmt.Errorf("epiphany: workload %q not registered", c.Workload)
+		}
+		st, err := c.Topo.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = workload.UsedCores(w, st.Rows(), st.Cols())
+		opts := []workload.Option{workload.WithTopology(st)}
+		if c.Seed != nil {
+			opts = append(opts, workload.WithSeed(*c.Seed))
+		}
+		jobs[i] = workload.Job{Workload: w, Options: opts}
+	}
+	r := &workload.Runner{Workers: workers}
+	br, err := r.RunBatch(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: p, Cells: make([]CellResult, len(cells))}
+	for i, c := range cells {
+		cr := CellResult{
+			Workload: c.Workload,
+			Topology: c.Topo.Key(),
+			Seed:     c.Seed,
+			Cores:    cores[i],
+		}
+		if jr := br.Results[i]; jr.Err != nil {
+			cr.Err = jr.Err.Error()
+		} else {
+			cr.Metrics = jr.Result.Metrics()
+			if cr.Metrics.Elapsed > 0 {
+				cr.CrossShare = float64(cr.Metrics.ELinkCrossTime) / float64(cr.Metrics.Elapsed)
+			}
+		}
+		res.Cells[i] = cr
+	}
+	res.derive()
+	return res, nil
+}
+
+// derive fills the speedup and efficiency columns from the baseline
+// cells. Cells index as workload-major, seed-minor (the Expand order),
+// so the baseline for cell (w, topo, seed) is (w, p.Baseline, seed).
+func (r *Result) derive() {
+	type baseKey struct {
+		workload string
+		seed     string
+	}
+	base := make(map[baseKey]*CellResult)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Topology == r.Plan.Baseline && c.Err == "" {
+			base[baseKey{c.Workload, seedLabel(c.Seed)}] = c
+		}
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Err != "" {
+			continue
+		}
+		b, ok := base[baseKey{c.Workload, seedLabel(c.Seed)}]
+		if !ok || c.Metrics.Elapsed == 0 || b.Cores == 0 || c.Cores == 0 {
+			continue
+		}
+		c.Speedup = float64(b.Metrics.Elapsed) / float64(c.Metrics.Elapsed)
+		c.Efficiency = c.Speedup * float64(b.Cores) / float64(c.Cores)
+	}
+}
+
+// seedLabel renders a cell's seed for keys and table cells ("-" for the
+// workload's registered default).
+func seedLabel(s *uint64) string {
+	if s == nil {
+		return "-"
+	}
+	return strconv.FormatUint(*s, 10)
+}
+
+// header rows shared by the human renderers.
+var prettyHeader = []string{
+	"workload", "topology", "seed", "cores", "time (ms)", "GFLOPS",
+	"% peak", "speedup", "efficiency", "x-chip %", "error",
+}
+
+// prettyRows formats the cells at fixed precision for Text and
+// Markdown.
+func (r *Result) prettyRows() [][]string {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			rows = append(rows, []string{
+				c.Workload, c.Topology, seedLabel(c.Seed), "-",
+				"-", "-", "-", "-", "-", "-", c.Err,
+			})
+			continue
+		}
+		xchip := "-"
+		if c.Metrics.ELinkCrossings > 0 {
+			xchip = fmt.Sprintf("%.1f", 100*c.CrossShare)
+		}
+		rows = append(rows, []string{
+			c.Workload,
+			c.Topology,
+			seedLabel(c.Seed),
+			strconv.Itoa(c.Cores),
+			fmt.Sprintf("%.3f", c.Metrics.Elapsed.Seconds()*1e3),
+			fmt.Sprintf("%.2f", c.Metrics.GFLOPS),
+			fmt.Sprintf("%.1f", c.Metrics.PctPeak),
+			fmt.Sprintf("%.2f", c.Speedup),
+			fmt.Sprintf("%.2f", c.Efficiency),
+			xchip,
+			"",
+		})
+	}
+	return rows
+}
+
+// Table returns the result as a tabular grid with the derived scaling
+// columns, for callers that want to render it themselves.
+func (r *Result) Table() *tabular.Table {
+	return &tabular.Table{Header: prettyHeader, Rows: r.prettyRows()}
+}
+
+// Text renders the scaling table as aligned monospace text, with a
+// title line naming the baseline.
+func (r *Result) Text() string {
+	return fmt.Sprintf("experiment sweep: %d cells, speedup vs %s\n", len(r.Cells), r.Plan.Baseline) +
+		r.Table().Text()
+}
+
+// Markdown renders the scaling table as a GitHub-flavoured markdown
+// table.
+func (r *Result) Markdown() string {
+	return r.Table().Markdown()
+}
+
+// CSV renders the machine-grade table: exact integer metrics
+// (elapsed in sim.Time units, flops, crossing counters) and
+// full-precision floats, so the output pins the simulation bit for bit
+// and can be checked in as a golden file.
+func (r *Result) CSV() string {
+	t := &tabular.Table{Header: []string{
+		"workload", "topology", "seed", "cores",
+		"elapsed_units", "total_flops", "gflops", "pct_peak",
+		"speedup", "efficiency",
+		"xchip_crossings", "xchip_bytes", "xchip_time_units", "xchip_share",
+		"error",
+	}}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			t.Rows = append(t.Rows, []string{
+				c.Workload, c.Topology, seedLabel(c.Seed), strconv.Itoa(c.Cores),
+				"", "", "", "", "", "", "", "", "", "", c.Err,
+			})
+			continue
+		}
+		m := c.Metrics
+		t.Rows = append(t.Rows, []string{
+			c.Workload,
+			c.Topology,
+			seedLabel(c.Seed),
+			strconv.Itoa(c.Cores),
+			strconv.FormatUint(uint64(m.Elapsed), 10),
+			strconv.FormatUint(m.TotalFlops, 10),
+			g(m.GFLOPS),
+			g(m.PctPeak),
+			g(c.Speedup),
+			g(c.Efficiency),
+			strconv.FormatUint(m.ELinkCrossings, 10),
+			strconv.FormatUint(m.ELinkCrossBytes, 10),
+			strconv.FormatUint(uint64(m.ELinkCrossTime), 10),
+			g(c.CrossShare),
+			"",
+		})
+	}
+	return t.CSV()
+}
+
+// JSON renders the full result - normalized plan and every cell with
+// raw metrics and derived columns - as indented JSON. Marshalling is
+// deterministic (struct field order), so JSON output is golden-stable
+// too.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,255 @@
+// Package sweep runs declarative experiment grids over the simulator:
+// a Plan names a set of registered workloads, a set of fabric
+// topologies (presets, ad-hoc meshes, chip-to-chip timing overrides)
+// and optionally a set of seeds; Expand turns it into the cartesian
+// job grid in a canonical order; Run executes the grid on the pooled
+// workload.Runner and derives the paper-style scaling columns
+// (speedup against a named baseline topology, parallel efficiency,
+// chip-boundary crossing share) from the per-cell Metrics.
+//
+// Everything is deterministic end to end: the expansion order is a
+// pure function of the axis sets (not of the order they were written
+// in), every simulation is bit-deterministic, and the renderers in
+// this package format cells identically on every call - so a sweep's
+// CSV output is bit-identical across repeated runs and across worker
+// counts, and can itself be checked in as a golden file.
+package sweep
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"epiphany/internal/sim"
+	"epiphany/internal/system"
+	"epiphany/internal/workload"
+)
+
+// Topo is one value of the topology axis: a preset board by name, or an
+// ad-hoc rows x cols single-chip mesh, optionally with the chip-to-chip
+// eLink timing overridden (an experiment axis of its own: the same grid
+// run over several C2CBytePeriod values measures how sensitive a
+// workload is to the off-chip link speed).
+type Topo struct {
+	// Preset is a preset topology name ("e16", "e64", "cluster-2x2").
+	// Empty means an ad-hoc MeshRows x MeshCols single-chip device.
+	Preset string `json:"preset,omitempty"`
+	// MeshRows, MeshCols describe the ad-hoc single-chip mesh used when
+	// Preset is empty.
+	MeshRows int `json:"mesh_rows,omitempty"`
+	MeshCols int `json:"mesh_cols,omitempty"`
+	// C2CBytePeriod and C2CHopLatency override the chip-to-chip eLink
+	// timing in sim.Time units (1/3 ns); zero keeps the calibrated
+	// defaults. Only meaningful on multi-chip boards.
+	C2CBytePeriod sim.Time `json:"c2c_byte_period,omitempty"`
+	C2CHopLatency sim.Time `json:"c2c_hop_latency,omitempty"`
+}
+
+// Key returns the canonical cell label of the topology: the preset name
+// or "RxC" for ad-hoc meshes, with a "/c2c=byte:hop" suffix when the
+// link timing is overridden (a zero component means that knob keeps its
+// calibrated default, not that it costs nothing). Keys identify
+// baseline cells and label table rows; two Topos with equal keys are
+// the same axis value.
+func (t Topo) Key() string {
+	key := t.Preset
+	if key == "" {
+		key = fmt.Sprintf("%dx%d", t.MeshRows, t.MeshCols)
+	}
+	if t.C2CBytePeriod > 0 || t.C2CHopLatency > 0 {
+		key += fmt.Sprintf("/c2c=%d:%d", t.C2CBytePeriod, t.C2CHopLatency)
+	}
+	return key
+}
+
+// Resolve maps the axis value onto a concrete system.Topology,
+// validating it.
+func (t Topo) Resolve() (system.Topology, error) {
+	var st system.Topology
+	if t.Preset != "" {
+		preset, ok := system.TopologyByName(t.Preset)
+		if !ok {
+			return st, fmt.Errorf("epiphany: unknown topology preset %q", t.Preset)
+		}
+		st = preset
+	} else {
+		st = system.SingleChip(t.MeshRows, t.MeshCols)
+	}
+	st = st.WithC2C(t.C2CBytePeriod, t.C2CHopLatency)
+	if err := st.Validate(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// ParseTopo parses the CLI spelling of a topology axis value: a preset
+// name ("e64"), an ad-hoc mesh ("4x8"), either optionally followed by
+// "/c2c=BYTE:HOP" with the override periods in sim.Time units (for
+// example "cluster-2x2/c2c=40:600").
+func ParseTopo(s string) (Topo, error) {
+	var t Topo
+	base, c2c, hasC2C := strings.Cut(s, "/c2c=")
+	if hasC2C {
+		bp, hl, ok := strings.Cut(c2c, ":")
+		if !ok {
+			return t, fmt.Errorf("epiphany: topology %q: c2c override must be BYTE:HOP", s)
+		}
+		b, err := strconv.ParseUint(bp, 10, 32)
+		if err != nil {
+			return t, fmt.Errorf("epiphany: topology %q: bad c2c byte period: %v", s, err)
+		}
+		h, err := strconv.ParseUint(hl, 10, 32)
+		if err != nil {
+			return t, fmt.Errorf("epiphany: topology %q: bad c2c hop latency: %v", s, err)
+		}
+		t.C2CBytePeriod, t.C2CHopLatency = sim.Time(b), sim.Time(h)
+	}
+	if r, c, ok := strings.Cut(base, "x"); ok {
+		rows, errR := strconv.Atoi(r)
+		cols, errC := strconv.Atoi(c)
+		if errR == nil && errC == nil {
+			t.MeshRows, t.MeshCols = rows, cols
+			if _, err := t.Resolve(); err != nil {
+				return t, err
+			}
+			return t, nil
+		}
+	}
+	t.Preset = base
+	if _, err := t.Resolve(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// Plan declares one experiment sweep: the axes of the grid and the
+// baseline cell the derived columns compare against. The zero Plan is
+// usable - it sweeps every registered workload over the preset
+// topologies at each workload's default seed, with the smallest
+// topology as baseline.
+type Plan struct {
+	// Workloads are registered workload names; empty means every
+	// registered workload.
+	Workloads []string `json:"workloads,omitempty"`
+	// Topos is the topology axis; empty means the presets in scaling
+	// order (e16, e64, cluster-2x2).
+	Topos []Topo `json:"topos,omitempty"`
+	// Seeds rebase each workload's deterministic inputs (the workloads
+	// must implement Reseeder); empty runs each workload once at its
+	// registered default seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Baseline is the Topo key the speedup and efficiency columns
+	// compare against; empty picks the first topology in canonical
+	// (scaling) order.
+	Baseline string `json:"baseline,omitempty"`
+}
+
+// Cell is one point of the expanded grid. Seed is nil when the
+// workload's registered default seed applies.
+type Cell struct {
+	Workload string  `json:"workload"`
+	Topo     Topo    `json:"topo"`
+	Seed     *uint64 `json:"seed,omitempty"`
+}
+
+// Normalize resolves the plan's defaults and canonicalizes its axes:
+// workload names are filled from the registry when empty, checked
+// against it otherwise, and sorted; topologies default to the presets,
+// are resolved (catching unknown presets and invalid geometry), and
+// sorted into scaling order (core count, then key) with duplicates
+// dropped; seeds are sorted and deduplicated; the baseline is defaulted
+// to the first topology and checked to be on the axis. The canonical
+// form is what makes expansion order independent of how the plan was
+// written.
+func (p Plan) Normalize() (Plan, error) {
+	if len(p.Workloads) == 0 {
+		for _, w := range workload.All() {
+			p.Workloads = append(p.Workloads, w.Name())
+		}
+	} else {
+		p.Workloads = dedupe(p.Workloads)
+		for _, name := range p.Workloads {
+			if _, ok := workload.ByName(name); !ok {
+				return p, fmt.Errorf("epiphany: workload %q not registered", name)
+			}
+		}
+	}
+	if len(p.Topos) == 0 {
+		for _, st := range system.Topologies() {
+			p.Topos = append(p.Topos, Topo{Preset: st.Name})
+		}
+	}
+	type keyed struct {
+		t     Topo
+		key   string
+		cores int
+	}
+	ks := make([]keyed, 0, len(p.Topos))
+	seen := make(map[string]bool, len(p.Topos))
+	for _, t := range p.Topos {
+		st, err := t.Resolve()
+		if err != nil {
+			return p, err
+		}
+		key := t.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ks = append(ks, keyed{t: t, key: key, cores: st.NumCores()})
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].cores != ks[j].cores {
+			return ks[i].cores < ks[j].cores
+		}
+		return ks[i].key < ks[j].key
+	})
+	p.Topos = make([]Topo, len(ks))
+	for i, k := range ks {
+		p.Topos[i] = k.t
+	}
+	if len(p.Seeds) > 0 {
+		p.Seeds = dedupe(p.Seeds)
+	}
+	if p.Baseline == "" {
+		p.Baseline = p.Topos[0].Key()
+	} else if !seen[p.Baseline] {
+		return p, fmt.Errorf("epiphany: baseline %q is not on the sweep's topology axis", p.Baseline)
+	}
+	return p, nil
+}
+
+// Expand returns the plan's cartesian job grid - every workload at
+// every topology at every seed - in the plan's axis order, workloads
+// outermost, seeds innermost. Called on a normalized plan the order is
+// canonical: permuting the values inside any axis of the original plan
+// yields the identical expansion.
+func (p Plan) Expand() []Cell {
+	seeds := make([]*uint64, 0, max(len(p.Seeds), 1))
+	if len(p.Seeds) == 0 {
+		seeds = append(seeds, nil)
+	} else {
+		for _, s := range p.Seeds {
+			v := s
+			seeds = append(seeds, &v)
+		}
+	}
+	cells := make([]Cell, 0, len(p.Workloads)*len(p.Topos)*len(seeds))
+	for _, w := range p.Workloads {
+		for _, t := range p.Topos {
+			for _, s := range seeds {
+				cells = append(cells, Cell{Workload: w, Topo: t, Seed: s})
+			}
+		}
+	}
+	return cells
+}
+
+// dedupe sorts and deduplicates, without mutating its argument.
+func dedupe[E interface{ ~string | ~uint64 }](in []E) []E {
+	out := slices.Clone(in)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -37,7 +37,10 @@ func NewSize(rows, cols int) *System {
 }
 
 // NewTopology builds a system on the given fabric topology: a single
-// chip, or a board of chips glued through chip-to-chip eLinks. Invalid
+// chip, or a board of chips glued through chip-to-chip eLinks. When the
+// topology carries chip-to-chip timing overrides (C2CBytePeriod,
+// C2CHopLatency) they are applied to the board's mesh, so sweeps can
+// treat the off-chip link speed as an experiment axis. Invalid
 // geometries panic; call t.Validate first to get an error instead.
 func NewTopology(t Topology) *System {
 	if err := t.Validate(); err != nil {
@@ -45,6 +48,9 @@ func NewTopology(t Topology) *System {
 	}
 	eng := sim.NewEngine()
 	chip := ecore.NewBoard(eng, t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
+	if t.C2CBytePeriod > 0 || t.C2CHopLatency > 0 {
+		chip.Fabric().Mesh.SetC2C(t.C2CBytePeriod, t.C2CHopLatency)
+	}
 	return &System{eng: eng, chip: chip, host: host.New(chip)}
 }
 

@@ -210,3 +210,74 @@ func TestResetClearsAcquire(t *testing.T) {
 		t.Fatalf("Acquire after Reset: %v", err)
 	}
 }
+
+func TestNewTopologyAppliesC2COverrides(t *testing.T) {
+	// The override reaches the mesh: a cluster board built from an
+	// overridden topology reports the overridden link timing, a default
+	// one the calibrated constants.
+	slow := Cluster2x2.WithC2C(40, 600)
+	if err := slow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bp, hl := NewTopology(slow).Chip().Fabric().Mesh.C2C(); bp != 40 || hl != 600 {
+		t.Fatalf("overridden board C2C = (%v, %v), want (40, 600)", bp, hl)
+	}
+	bp0, hl0 := NewTopology(Cluster2x2).Chip().Fabric().Mesh.C2C()
+	if bp0 == 40 || hl0 == 600 {
+		t.Fatalf("default board C2C = (%v, %v), matches the override", bp0, hl0)
+	}
+
+	// Overrides are board identity: distinct values compare unequal (the
+	// Runner's per-worker pool keys on this), and String surfaces them.
+	if slow == Cluster2x2 {
+		t.Fatal("overridden topology compares equal to the preset")
+	}
+	if s := slow.String(); !strings.Contains(s, "c2c byte=40 hop=600") {
+		t.Fatalf("String() %q does not surface the override", s)
+	}
+	if s := Cluster2x2.String(); strings.Contains(s, "c2c") {
+		t.Fatalf("preset String() %q mentions an override", s)
+	}
+
+	// Out-of-range overrides are rejected without building a board.
+	bad := Cluster2x2.WithC2C(2_000_000_000_000, 0)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("absurd C2C override validated")
+	}
+}
+
+func TestClusterC2COverrideChangesCrossingCosts(t *testing.T) {
+	// The same cross-chip workload priced under a slower chip-to-chip
+	// link must spend strictly more crossing time; a single-chip board
+	// must ignore the override entirely.
+	cfg := core.StreamStencilConfig{
+		GlobalRows: 32, GlobalCols: 32, BlockRows: 8, BlockCols: 8,
+		Iters: 2, TBlock: 1, GroupRows: 4, GroupCols: 4, Seed: 7,
+	}
+	run := func(topo Topology) core.Metrics {
+		res, err := NewTopology(topo).RunStreamStencil(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics()
+	}
+	base := run(Cluster2x2)
+	slow := run(Cluster2x2.WithC2C(50, 0))
+	if base.ELinkCrossings == 0 {
+		t.Fatal("cluster run crossed no chip boundaries; the workload does not exercise the override")
+	}
+	if slow.ELinkCrossings != base.ELinkCrossings {
+		t.Fatalf("crossing count changed with link speed: %d vs %d", slow.ELinkCrossings, base.ELinkCrossings)
+	}
+	if slow.ELinkCrossTime <= base.ELinkCrossTime {
+		t.Fatalf("10x slower link crossing time %v not above calibrated %v", slow.ELinkCrossTime, base.ELinkCrossTime)
+	}
+	if slow.Elapsed <= base.Elapsed {
+		t.Fatalf("10x slower link elapsed %v not above calibrated %v", slow.Elapsed, base.Elapsed)
+	}
+	single := run(E64.WithC2C(50, 600))
+	def := run(E64)
+	if single != def {
+		t.Fatalf("single-chip metrics changed under a C2C override:\n %+v\n %+v", single, def)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"epiphany/internal/mem"
+	"epiphany/internal/sim"
 )
 
 // Topology describes the simulated fabric a System is built on: a board
@@ -21,6 +22,17 @@ type Topology struct {
 	ChipGridRows, ChipGridCols int
 	// CoreRows, CoreCols are the cores per chip.
 	CoreRows, CoreCols int
+	// C2CBytePeriod and C2CHopLatency override the chip-to-chip eLink
+	// timing on multi-chip boards: the per-byte serialization period and
+	// the per-crossing head latency, in sim.Time units (1/3 ns). Zero
+	// keeps the calibrated defaults (noc.C2CBytePeriod = 5, one byte per
+	// core cycle at the raw 600 MB/s link rate; noc.C2CHopLatency = 60,
+	// 12 core cycles). Overrides are part of the topology's identity:
+	// two Topology values with different overrides describe different
+	// boards, are pooled separately by Runner, and may be swept as an
+	// experiment axis. They have no effect on a single-chip board.
+	C2CBytePeriod sim.Time
+	C2CHopLatency sim.Time
 }
 
 // Preset topologies. E64 is the paper's device and the default
@@ -69,6 +81,14 @@ func (t Topology) NumCores() int { return t.Rows() * t.Cols() }
 // MultiChip reports whether any mesh route can cross a chip boundary.
 func (t Topology) MultiChip() bool { return t.NumChips() > 1 }
 
+// WithC2C returns a copy of t with the chip-to-chip eLink timing
+// overridden (zero arguments keep the calibrated defaults). The copy is
+// a distinct board identity; see the field documentation.
+func (t Topology) WithC2C(bytePeriod, hopLatency sim.Time) Topology {
+	t.C2CBytePeriod, t.C2CHopLatency = bytePeriod, hopLatency
+	return t
+}
+
 // String renders the geometry for listings.
 func (t Topology) String() string {
 	name := t.Name
@@ -78,8 +98,19 @@ func (t Topology) String() string {
 	if !t.MultiChip() {
 		return fmt.Sprintf("%s: 1 chip, %dx%d cores", name, t.CoreRows, t.CoreCols)
 	}
-	return fmt.Sprintf("%s: %dx%d chips of %dx%d cores (%dx%d mesh)",
+	s := fmt.Sprintf("%s: %dx%d chips of %dx%d cores (%dx%d mesh)",
 		name, t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols, t.Rows(), t.Cols())
+	// Only overridden fields are shown: a zero keeps the calibrated
+	// default, and printing "hop=0" would read as free crossings.
+	switch {
+	case t.C2CBytePeriod > 0 && t.C2CHopLatency > 0:
+		s += fmt.Sprintf(" [c2c byte=%d hop=%d]", t.C2CBytePeriod, t.C2CHopLatency)
+	case t.C2CBytePeriod > 0:
+		s += fmt.Sprintf(" [c2c byte=%d]", t.C2CBytePeriod)
+	case t.C2CHopLatency > 0:
+		s += fmt.Sprintf(" [c2c hop=%d]", t.C2CHopLatency)
+	}
+	return s
 }
 
 // Validate checks the geometry without building a board.
@@ -91,6 +122,14 @@ func (t Topology) Validate() error {
 	if mem.FirstRow+t.Rows() > 64 || mem.FirstCol+t.Cols() > 64 {
 		return fmt.Errorf("epiphany: %dx%d board does not fit the 64x64 mesh address space at origin (%d,%d)",
 			t.Rows(), t.Cols(), mem.FirstRow, mem.FirstCol)
+	}
+	// sim.Time is unsigned, so "negative" overrides cannot be expressed;
+	// guard instead against absurd values that would overflow the
+	// store-and-forward arithmetic (a full second per byte is already
+	// nine orders of magnitude beyond any physical link).
+	if t.C2CBytePeriod > sim.Second || t.C2CHopLatency > sim.Second {
+		return fmt.Errorf("epiphany: chip-to-chip override out of range (byte=%d hop=%d units; max %d)",
+			t.C2CBytePeriod, t.C2CHopLatency, sim.Second)
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+// Package tabular renders small result tables - a header plus string
+// rows - as aligned monospace text, GitHub-flavoured markdown, and CSV.
+// It is the one formatter behind every table the module emits: the
+// bench package's regenerated paper tables and the sweep package's
+// scaling tables both delegate here, so alignment rules are written
+// (and tested) once. All three renderings are pure functions of the
+// cell strings; a table renders byte-identically on every call, which
+// is what lets sweep outputs double as golden files.
+package tabular
+
+import (
+	"encoding/csv"
+	"strings"
+)
+
+// Table is a header and rows of pre-formatted cells. Rows may be ragged:
+// a row shorter than the header leaves trailing columns empty, a longer
+// one spills extra cells (aligned to the last column's width in Text).
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// widths returns the per-column display widths: each column is as wide
+// as its widest cell, header included. Columns beyond the header exist
+// only when some row is longer; they are sized from the rows alone.
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Text renders the table as aligned monospace text: the header, a dashed
+// separator, then the rows, columns left-aligned and separated by two
+// spaces. A table with no rows renders header and separator only; a
+// completely empty table renders nothing.
+func (t *Table) Text() string {
+	if len(t.Header) == 0 && len(t.Rows) == 0 {
+		return ""
+	}
+	widths := t.widths()
+	var b strings.Builder
+	line := func(cells []string) {
+		var l strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				l.WriteString("  ")
+			}
+			l.WriteString(c)
+			if i < len(cells)-1 {
+				l.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		// Empty trailing cells would otherwise leave padding before them.
+		b.WriteString(strings.TrimRight(l.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		line(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		line(sep)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table. Pipe
+// characters inside cells are escaped; cells are padded to column width
+// so the source stays readable as plain text too.
+func (t *Table) Markdown() string {
+	if len(t.Header) == 0 && len(t.Rows) == 0 {
+		return ""
+	}
+	// Escape first: column widths must account for the escapes, or a
+	// cell could need negative padding.
+	esc := Table{Header: mdEscapeRow(t.Header)}
+	for _, r := range t.Rows {
+		esc.Rows = append(esc.Rows, mdEscapeRow(r))
+	}
+	widths := esc.widths()
+	for i, w := range widths {
+		// GitHub requires at least three dashes in the separator; pad
+		// every column to that so rows and separator stay aligned.
+		widths[i] = max(w, 3)
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		b.WriteByte('|')
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			b.WriteByte(' ')
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	line(esc.Header)
+	b.WriteByte('|')
+	for _, w := range widths {
+		b.WriteByte(' ')
+		b.WriteString(strings.Repeat("-", w))
+		b.WriteString(" |")
+	}
+	b.WriteByte('\n')
+	for _, r := range esc.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// mdEscapeRow escapes the characters that would break a markdown table
+// cell, across one row.
+func mdEscapeRow(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, s := range cells {
+		s = strings.ReplaceAll(s, "|", `\|`)
+		out[i] = strings.ReplaceAll(s, "\n", " ")
+	}
+	return out
+}
+
+// CSV renders the table as CSV, header row first, with LF line endings
+// (so checked-in golden files survive git line-ending normalization).
+// Quoting is encoding/csv's RFC-4180 behaviour.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if len(t.Header) > 0 {
+		if err := w.Write(t.Header); err != nil {
+			panic(err) // strings.Builder cannot fail
+		}
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		panic(err)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package tabular
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tab  Table
+		want string
+	}{
+		{
+			name: "columns align to widest cell",
+			tab: Table{
+				Header: []string{"a", "bb"},
+				Rows:   [][]string{{"hello", "7"}, {"x", "12345"}},
+			},
+			want: "a      bb\n" +
+				"-----  -----\n" +
+				"hello  7\n" +
+				"x      12345\n",
+		},
+		{
+			name: "zero rows renders header and separator only",
+			tab:  Table{Header: []string{"col", "c2"}},
+			want: "col  c2\n---  --\n",
+		},
+		{
+			name: "empty table renders nothing",
+			tab:  Table{},
+			want: "",
+		},
+		{
+			name: "ragged rows: short rows end early, long rows spill",
+			tab: Table{
+				Header: []string{"a", "b"},
+				Rows:   [][]string{{"1"}, {"1", "2", "3"}},
+			},
+			want: "a  b\n-  -\n1\n1  2  3\n",
+		},
+		{
+			name: "headerless rows align without separator",
+			tab: Table{
+				Rows: [][]string{{"aggregate", "150.0"}, {"starved", "31"}},
+			},
+			want: "aggregate  150.0\nstarved    31\n",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.tab.Text(); got != tc.want {
+				t.Errorf("Text:\n got %q\nwant %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTextNoTrailingPadding(t *testing.T) {
+	tab := Table{Header: []string{"wide-header", "x"}, Rows: [][]string{{"a", "b"}}}
+	for _, line := range strings.Split(tab.Text(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("line %q has trailing padding", line)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := Table{
+		Header: []string{"name", "v"},
+		Rows:   [][]string{{"pipe|here", "1"}, {"plain", "22"}},
+	}
+	want := "| name       | v   |\n" +
+		"| ---------- | --- |\n" +
+		"| pipe\\|here | 1   |\n" +
+		"| plain      | 22  |\n"
+	if got := tab.Markdown(); got != want {
+		t.Errorf("Markdown:\n got %q\nwant %q", got, want)
+	}
+	// Short columns still get the minimum three-dash separator GitHub
+	// requires.
+	if md := (&Table{Header: []string{"a"}}).Markdown(); !strings.Contains(md, "| --- |") {
+		t.Errorf("single-char column separator: %q", md)
+	}
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	tab := Table{
+		Header: []string{"name", "note"},
+		Rows: [][]string{
+			{"plain", "ok"},
+			{"comma,cell", `quote "q" and
+newline`},
+		},
+	}
+	got := tab.CSV()
+	if strings.Contains(got, "\r") {
+		t.Fatalf("CSV uses CR line endings; goldens must survive git newline normalization:\n%q", got)
+	}
+	rec, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("rendered CSV does not parse: %v\n%s", err, got)
+	}
+	want := append([][]string{tab.Header}, tab.Rows...)
+	if len(rec) != len(want) {
+		t.Fatalf("parsed %d records, want %d", len(rec), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if rec[i][j] != want[i][j] {
+				t.Errorf("record %d cell %d = %q, want %q", i, j, rec[i][j], want[i][j])
+			}
+		}
+	}
+	if (&Table{}).CSV() != "" {
+		t.Error("empty table CSV not empty")
+	}
+}
+
+func TestRenderingIsRepeatable(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"3", "4"}}}
+	for i := 0; i < 3; i++ {
+		if tab.Text() != tab.Text() || tab.Markdown() != tab.Markdown() || tab.CSV() != tab.CSV() {
+			t.Fatal("rendering not bit-identical across calls")
+		}
+	}
+}

@@ -176,6 +176,27 @@ func (s *StreamStencil) FitTopology(rows, cols int) Workload {
 	return &c
 }
 
+// UsedCores reports how many cores w's workgroup occupies on a rows x
+// cols core mesh, after topology fitting. It is the denominator the
+// scaling tables use for parallel efficiency: a preset that clamps
+// itself to a smaller board is charged for the cores it actually runs
+// on, not the whole device. Workloads outside the built-in types are
+// assumed to use the full mesh.
+func UsedCores(w Workload, rows, cols int) int {
+	if f, ok := w.(TopologyFitter); ok {
+		w = f.FitTopology(rows, cols)
+	}
+	switch c := w.(type) {
+	case *Stencil:
+		return c.Config.GroupRows * c.Config.GroupCols
+	case *Matmul:
+		return c.Config.G * c.Config.G
+	case *StreamStencil:
+		return c.Config.GroupRows * c.Config.GroupCols
+	}
+	return rows * cols
+}
+
 // Run implements Workload.
 func (s *StreamStencil) Run(ctx context.Context, sys *system.System) (Result, error) {
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,49 @@
+package epiphany
+
+import (
+	"context"
+
+	"epiphany/internal/sweep"
+)
+
+// The experiment-sweep API. A SweepPlan declares a grid - workload set
+// x topology set x seed set - and Sweep executes every cell on the
+// concurrent batch Runner, deriving the paper-style scaling columns
+// (speedup against a named baseline topology, parallel efficiency,
+// chip-boundary crossing share). Sweeps are deterministic end to end:
+// the same plan renders bit-identical CSV/JSON/text on every run and
+// with any worker count, so sweep outputs can be checked in as golden
+// scaling tables. The epiphany-sweep command is a thin flag wrapper
+// around this API.
+type (
+	// SweepPlan declares one experiment grid; the zero value sweeps
+	// every registered workload over the preset topologies.
+	SweepPlan = sweep.Plan
+	// SweepTopo is one topology-axis value: a preset name or an ad-hoc
+	// mesh, optionally with chip-to-chip eLink timing overrides.
+	SweepTopo = sweep.Topo
+	// SweepCell is one expanded grid point (workload, topology, seed).
+	SweepCell = sweep.Cell
+	// SweepResult is an executed sweep: the normalized plan plus one
+	// SweepCellResult per cell, with Text, Markdown, CSV and JSON
+	// renderers.
+	SweepResult = sweep.Result
+	// SweepCellResult is one executed cell: its Metrics plus the
+	// derived speedup, efficiency and crossing-share columns.
+	SweepCellResult = sweep.CellResult
+)
+
+// Sweep executes the plan's workload x topology x seed grid with the
+// given number of concurrent workers (<= 0 means GOMAXPROCS) and
+// returns the aggregated result. Per-cell failures are recorded in the
+// result's cells; the returned error is reserved for plan errors and
+// context cancellation.
+func Sweep(ctx context.Context, p SweepPlan, workers int) (*SweepResult, error) {
+	return sweep.Run(ctx, p, workers)
+}
+
+// ParseSweepTopo parses the textual spelling of a topology axis value:
+// a preset name ("e64"), an ad-hoc single-chip mesh ("4x8"), either
+// optionally followed by "/c2c=BYTE:HOP" chip-to-chip timing overrides
+// in simulation time units (e.g. "cluster-2x2/c2c=40:600").
+func ParseSweepTopo(s string) (SweepTopo, error) { return sweep.ParseTopo(s) }

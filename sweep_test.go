@@ -1,0 +1,104 @@
+package epiphany_test
+
+// The sweep acceptance harness: the default experiment sweep - every
+// registered workload over the e16/e64/cluster-2x2 presets - must
+// render bit-identical output across repeated runs and across worker
+// counts, and the machine-grade CSV is pinned to the golden file
+// checked into testdata (regenerate with
+// `go run ./cmd/epiphany-sweep -format csv -o testdata/sweep_golden.csv`
+// and explain the drift in the commit message).
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"epiphany"
+)
+
+func TestSweepDefaultGridMatchesGolden(t *testing.T) {
+	res, err := epiphany.Sweep(context.Background(), epiphany.SweepPlan{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/sweep_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.CSV()
+	if got != string(want) {
+		t.Errorf("default sweep CSV drifted from testdata/sweep_golden.csv;\nregenerate with `go run ./cmd/epiphany-sweep -format csv -o testdata/sweep_golden.csv` and explain why in the commit message\n got:\n%s", got)
+	}
+
+	// The grid covers every registered workload on every preset, with
+	// no failed cells.
+	workloads := epiphany.Workloads()
+	topos := epiphany.Topologies()
+	if len(res.Cells) != len(workloads)*len(topos) {
+		t.Fatalf("%d cells, want %d workloads x %d topologies", len(res.Cells), len(workloads), len(topos))
+	}
+	type key struct{ w, topo string }
+	seen := map[key]bool{}
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s failed: %s", c.Workload, c.Topology, c.Err)
+		}
+		seen[key{c.Workload, c.Topology}] = true
+	}
+	for _, w := range workloads {
+		for _, topo := range topos {
+			if !seen[key{w.Name(), topo.Name}] {
+				t.Errorf("no cell for %s on %s", w.Name(), topo.Name)
+			}
+		}
+	}
+
+	// The baseline cells anchor the derived columns: speedup and
+	// efficiency are exactly 1 on the e16 baseline.
+	for _, c := range res.Cells {
+		if c.Topology == "e16" && (c.Speedup != 1 || c.Efficiency != 1) {
+			t.Errorf("baseline cell %s: speedup=%v efficiency=%v", c.Workload, c.Speedup, c.Efficiency)
+		}
+	}
+}
+
+func TestSweepOutputIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) [2]string {
+		res, err := epiphany.Sweep(context.Background(), epiphany.SweepPlan{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]string{res.CSV(), string(js)}
+	}
+	first := render(1)
+	if again := render(1); again != first {
+		t.Fatal("sweep output not identical across consecutive runs")
+	}
+	if par := render(8); par != first {
+		t.Fatal("sweep output differs between -workers=1 and -workers=8")
+	}
+}
+
+func TestSweepTableHasScalingColumns(t *testing.T) {
+	res, err := epiphany.Sweep(context.Background(), epiphany.SweepPlan{
+		Workloads: []string{"matmul-offchip"},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Text()
+	for _, col := range []string{"workload", "topology", "speedup", "efficiency", "x-chip %"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("sweep table lacks %q column:\n%s", col, text)
+		}
+	}
+	md := res.Markdown()
+	if !strings.HasPrefix(md, "| workload") || !strings.Contains(md, "| ---") {
+		t.Errorf("markdown rendering malformed:\n%s", md)
+	}
+}
