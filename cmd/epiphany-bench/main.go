@@ -11,6 +11,8 @@
 //	epiphany-bench -workloads all -j 8  # batch-run the workload registry
 //	epiphany-bench -workloads stencil-tuned,matmul-cannon
 //	epiphany-bench -workloads all -topo cluster-2x2   # on a multi-chip board
+//	epiphany-bench -workloads all -power epiphany-iv-28nm        # energy columns
+//	epiphany-bench -workloads all -power epiphany-iv-28nm -dvfs 300@0.8
 package main
 
 import (
@@ -34,11 +36,30 @@ func main() {
 	workloads := flag.String("workloads", "", `batch-run registered workloads: "all" or a comma-separated name list`)
 	jobs := flag.Int("j", 0, "concurrent workers for -workloads (0 = GOMAXPROCS)")
 	topo := flag.String("topo", "", `fabric topology for -workloads: "e16", "e64" (default) or "cluster-2x2"`)
+	powerModel := flag.String("power", "", `power-model preset for -workloads energy columns (e.g. "epiphany-iv-28nm"; defaults to it when -dvfs is given)`)
+	dvfs := flag.String("dvfs", "", `DVFS operating point for -workloads, "FREQ[MHz]@VOLT[V]" (requires/implies -power)`)
 	flag.Parse()
 
-	if *topo != "" && *workloads == "" {
-		fmt.Fprintln(os.Stderr, "-topo only applies to -workloads; the paper experiments are defined on the default board")
+	if (*topo != "" || *powerModel != "" || *dvfs != "") && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-topo/-power/-dvfs only apply to -workloads; the paper experiments are defined on the default board")
 		os.Exit(2)
+	}
+	if *dvfs != "" && *powerModel == "" {
+		*powerModel = "epiphany-iv-28nm"
+	}
+	// Resolve the energy flags up front so a typo is one clean error,
+	// not a per-job failure wall (and the footer below can rely on the
+	// model resolving).
+	if *powerModel != "" {
+		m, ok := epiphany.PowerModelByName(*powerModel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown power model %q (have %v)\n", *powerModel, epiphany.PowerModels())
+			os.Exit(1)
+		}
+		if _, err := m.Point(*dvfs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	switch {
@@ -61,8 +82,13 @@ func main() {
 		for _, t := range epiphany.Topologies() {
 			fmt.Printf("  %s\n", t)
 		}
+		fmt.Println("power models (-power):")
+		for _, name := range epiphany.PowerModels() {
+			m, _ := epiphany.PowerModelByName(name)
+			fmt.Printf("  %s: nominal %s, ladder %v\n", name, m.Nominal, m.Points)
+		}
 	case *workloads != "":
-		runWorkloads(*workloads, *jobs, *topo)
+		runWorkloads(*workloads, *jobs, *topo, *powerModel, *dvfs)
 	case *run != "":
 		e, ok := bench.ByName(*run)
 		if !ok {
@@ -94,8 +120,9 @@ func main() {
 
 // runWorkloads resolves the selection against the registry and executes
 // it as one concurrent batch, each job on its own fresh System built on
-// the selected topology.
-func runWorkloads(sel string, workers int, topoName string) {
+// the selected topology, with energy columns when a power model is
+// attached.
+func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 	var ws []epiphany.Workload
 	if sel == "all" {
 		ws = epiphany.Workloads()
@@ -120,14 +147,21 @@ func runWorkloads(sel string, workers int, topoName string) {
 		runner.Options = []epiphany.Option{epiphany.WithTopology(topo)}
 		fmt.Printf("topology: %s\n", topo)
 	}
+	if powerModel != "" {
+		runner.Options = append(runner.Options, epiphany.WithPowerModel(powerModel, dvfs))
+	}
 	start := time.Now()
 	batch, err := runner.RunWorkloads(context.Background(), ws...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-22s %-14s %10s %8s %11s %11s %12s\n",
+	fmt.Printf("%-22s %-14s %10s %8s %11s %11s %12s",
 		"workload", "simulated", "GFLOPS", "% peak", "% compute", "% transfer", "x-chip time")
+	if powerModel != "" {
+		fmt.Printf(" %12s %8s %9s", "energy (mJ)", "avg W", "GFLOPS/W")
+	}
+	fmt.Println()
 	for _, jr := range batch.Results {
 		if jr.Err != nil {
 			fmt.Printf("%-22s FAILED: %v\n", jr.Name, jr.Err)
@@ -143,8 +177,18 @@ func runWorkloads(sel string, workers int, topoName string) {
 		if m.ELinkCrossings > 0 {
 			xchip = fmt.Sprint(m.ELinkCrossTime)
 		}
-		fmt.Printf("%-22s %-14v %10.2f %8.1f %11s %11s %12s\n",
+		fmt.Printf("%-22s %-14v %10.2f %8.1f %11s %11s %12s",
 			jr.Name, m.Elapsed, m.GFLOPS, m.PctPeak, split[0], split[1], xchip)
+		if powerModel != "" {
+			fmt.Printf(" %12.3f %8.3f %9.2f", m.EnergyJ*1e3, m.AvgPowerW, m.GFLOPSPerWatt)
+		}
+		fmt.Println()
+	}
+	if powerModel != "" {
+		// Both resolved successfully in main before the batch ran.
+		m, _ := epiphany.PowerModelByName(powerModel)
+		op, _ := m.Point(dvfs)
+		fmt.Printf("[power model %s at %s]\n", powerModel, op)
 	}
 	fmt.Printf("[%d workloads in %v wall clock]\n", len(batch.Results), time.Since(start).Round(time.Millisecond))
 	if err := batch.Err(); err != nil {

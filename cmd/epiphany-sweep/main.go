@@ -17,6 +17,8 @@
 //	epiphany-sweep -topos cluster-2x2,cluster-2x2/c2c=40:600   # sweep the c2c link speed
 //	epiphany-sweep -seeds 1,2,3 -baseline e64   # seed axis, speedup vs the e64 cells
 //	epiphany-sweep -format csv -o sweep.csv     # machine-grade golden output
+//	epiphany-sweep -power epiphany-iv-28nm      # energy columns on every cell
+//	epiphany-sweep -dvfs 300MHz@0.8V,600MHz@1.0V,800MHz@1.2V   # frequency-scaling axis
 package main
 
 import (
@@ -35,6 +37,8 @@ func main() {
 	topos := flag.String("topos", "", `topology axis: comma-separated presets ("e16"), meshes ("4x8"), optional "/c2c=BYTE:HOP" overrides; empty = all presets`)
 	seeds := flag.String("seeds", "", "seed axis: comma-separated uint64s; empty = each workload's default seed")
 	baseline := flag.String("baseline", "", "topology key the speedup/efficiency columns compare against (default: smallest on the axis)")
+	powerModel := flag.String("power", "", `power-model preset for energy columns (e.g. "epiphany-iv-28nm"); empty = no energy accounting (defaults to epiphany-iv-28nm when -dvfs is given)`)
+	dvfs := flag.String("dvfs", "", `DVFS operating-point axis: comma-separated "FREQ[MHz]@VOLT[V]" points (e.g. "300@0.8,600@1.0"); empty with -power = the model's nominal point`)
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); never affects the output bytes")
 	format := flag.String("format", "text", "output format: text, markdown, csv or json")
 	out := flag.String("o", "", "write output to this file instead of stdout")
@@ -50,13 +54,25 @@ func main() {
 		for _, t := range epiphany.Topologies() {
 			fmt.Printf("  %s\n", t)
 		}
+		fmt.Println("power models (-power; ad-hoc -dvfs points like 450@0.85 also accepted):")
+		for _, name := range epiphany.PowerModels() {
+			m, _ := epiphany.PowerModelByName(name)
+			fmt.Printf("  %s: nominal %s, ladder %v\n", name, m.Nominal, m.Points)
+		}
 		return
 	}
 
+	// A DVFS axis without a model means the caller wants the frequency
+	// scaling of the reference device; default to the calibrated preset.
+	if *dvfs != "" && *powerModel == "" {
+		*powerModel = "epiphany-iv-28nm"
+	}
 	plan, err := buildPlan(*workloads, *topos, *seeds, *baseline)
 	if err != nil {
 		fail(err)
 	}
+	plan.Power = *powerModel
+	plan.DVFS = splitList(*dvfs)
 	res, err := epiphany.Sweep(context.Background(), plan, *workers)
 	if err != nil {
 		fail(err)

@@ -1,0 +1,148 @@
+package epiphany_test
+
+// The energy conformance harness, the §VIII counterpart of the
+// time-domain golden tables in conformance_test.go: every registered
+// workload's computed energy on the e64 board under the nominal
+// epiphany-iv-28nm preset is pinned bit for bit - total joules, the
+// throughput-per-watt figures, and the full per-component breakdown.
+// Energy is derived from the run's activity counters by pure float64
+// arithmetic, so it is exactly reproducible; any drift means either the
+// counters moved (an instrumentation change) or the model moved (a
+// recalibration), and both must be explained in the commit message.
+//
+// Regenerate by running each workload with
+// WithPowerModel("epiphany-iv-28nm", "") and printing the
+// math.Float64bits of each field in the order of the struct below.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"epiphany"
+)
+
+// energyGolden freezes the bits of one run's energy metrics.
+type energyGolden struct {
+	energyJ       uint64
+	avgPowerW     uint64
+	gflopsPerWatt uint64
+	edpJs         uint64
+	// breakdown components, in struct order
+	coreActiveJ, coreIdleJ, fpuJ, sramJ, dramJ, meshJ, elinkJ, c2cJ, leakageJ uint64
+}
+
+// goldenEnergy pins every registered workload on e64 under the nominal
+// epiphany-iv-28nm operating point. Generated from this implementation
+// (the first to compute energy at all).
+var goldenEnergy = map[string]energyGolden{
+	"matmul-cannon":       {0x3f049a9491b4e005, 0x3fee4c8809c26477, 0x402aaea5a91470a0, 0x3e1c059e49de8608, 0x3ee9760ad8a7f59d, 0x3eeb0f18557021b6, 0x3ea19799812dea11, 0x3e9d26e69bbb8d20, 0x0, 0x3e4ff45dd3a46629, 0x0, 0x0, 0x3eebda813455c49a},
+	"matmul-offchip":      {0x3f51619062be4f98, 0x3fe8984eda69a53b, 0x400fa126f710d491, 0x3eb890f62ef13b5b, 0x3f195e558ac8debd, 0x3f40932fea6434e9, 0x3ed19799812dea11, 0x3ecd2810d9d1ef1f, 0x3ee07e1fe91b0b70, 0x3e9105cdec35bd8d, 0x3eaa636641c4df1a, 0x0, 0x3f3cf239a5e1791e},
+	"matmul-single":       {0x3f063f59bb0061b6, 0x3fe72b030cc50358, 0x3ff8b6006f8ebc14, 0x3e255d0d859278ca, 0x3eb79979093d82ce, 0x3ef73b1325188cc2, 0x3e719799812dea11, 0x3e6bc33e3fdc7563, 0x0, 0x0, 0x0, 0x0, 0x3ef3aa8f87b34257},
+	"matmul-summa":        {0x3f0d19f5febffe6c, 0x3feb8602719b9864, 0x4022e41b02752e7c, 0x3e2ec5122f271554, 0x3ee9760ad8a7f59d, 0x3ef6cd64a43f346c, 0x3ea19799812dea11, 0x3e9d292b2685340c, 0x0, 0x3e455ba6c3a1be2c, 0x0, 0x0, 0x3ef5a774ff70d545},
+	"stencil-cross":       {0x3f107878b3881795, 0x3fe8beb689cbaa79, 0x40145f50fa18b9a2, 0x3e35ed14fceff491, 0x3edd4793b15afde9, 0x3efee2e26c8008b4, 0x3e95798ee2308c3a, 0x3e7374834697e2c6, 0x0, 0x3e126ab4b33c110a, 0x0, 0x0, 0x3efb43770ba76f25},
+	"stencil-direct":      {0x3f10260bad054fd6, 0x3fe8c954f1ebc682, 0x4014c74d083914d9, 0x3e350abdfbe57ed8, 0x3edd4793b15afde9, 0x3efe316a9a766306, 0x3e95798ee2308c3a, 0x3e6e3ec2c937100a, 0x0, 0x3e119799812dea11, 0x0, 0x0, 0x3efaaf9331f4ba6a},
+	"stencil-naive":       {0x3f3637fa88863707, 0x3fe8d2886af0f796, 0x3fee342da5b69755, 0x3e83e35796d3401a, 0x3f05a481fff4ed52, 0x3f24a53c86b74865, 0x3e95798ee2308c3a, 0x3e6e3ec2c937100a, 0x0, 0x3e119799812dea11, 0x0, 0x0, 0x3f2254ee8aed7e06},
+	"stencil-replicated":  {0x3f0dc7a1bf1b3b66, 0x3fe8fef08b068a0b, 0x401688f709db0e8e, 0x3e31bd5bdd9a6099, 0x3edd4793b15afde9, 0x3efb731a76454e0a, 0x3e95798ee2308c3a, 0x3e6c1aede0fc563e, 0x0, 0x0, 0x0, 0x0, 0x3ef86650692128ed},
+	"stencil-single":      {0x3f0b9329e18e0016, 0x3fe7252662851269, 0x3ff85644077a7ab1, 0x3e306d1ba52882ae, 0x3ebd4793b15afde9, 0x3efcd275629591f1, 0x3e75798ee2308c3a, 0x3e4cd96b6b271b68, 0x0, 0x0, 0x0, 0x0, 0x3ef86650692128ed},
+	"stencil-tuned":       {0x3f1031db5534ea8a, 0x3fe8c78523739c50, 0x4014b8258f0487c9, 0x3e352b1d1d2b2a32, 0x3edd4793b15afde9, 0x3efe4b2fac529d48, 0x3e95798ee2308c3a, 0x3e6e3ec2c937100a, 0x0, 0x3e119799812dea11, 0x0, 0x0, 0x3efac50cc0d6eaf6},
+	"stream-stencil":      {0x3f60197b81d8b9a7, 0x3fe719024e852a64, 0x3fe5579150c226a1, 0x3ed67181d0692c7b, 0x3f0282b92b4ded39, 0x3f50fc3f00345e6a, 0x3eb886e609f3ed78, 0x3e95377bff25de47, 0x3ef2208a55563839, 0x3e92dc10c52e10e7, 0x3ec632d36ac8f7c3, 0x0, 0x3f4c8cc769924bc7},
+	"stream-stencil-deep": {0x3f568d6b46efad44, 0x3fe754612f1d3f34, 0x3fee78938d8aec5d, 0x3ec5cd16278331c7, 0x3f05c2509c4b8cde, 0x3f476ad46895dbd2, 0x3ebe20630a2e06c4, 0x3e9683f7640b8848, 0x3ee99cb273724d00, 0x3e8a1966fdb0b5fa, 0x3ebb5ea34a01b6d0, 0x0, 0x3f43cc38b930885b},
+}
+
+// takeEnergy converts a run's metrics into the frozen-bits form.
+func takeEnergy(m epiphany.Metrics) energyGolden {
+	b := math.Float64bits
+	return energyGolden{
+		energyJ:       b(m.EnergyJ),
+		avgPowerW:     b(m.AvgPowerW),
+		gflopsPerWatt: b(m.GFLOPSPerWatt),
+		edpJs:         b(m.EDPJs),
+		coreActiveJ:   b(m.Energy.CoreActiveJ),
+		coreIdleJ:     b(m.Energy.CoreIdleJ),
+		fpuJ:          b(m.Energy.FPUJ),
+		sramJ:         b(m.Energy.SRAMJ),
+		dramJ:         b(m.Energy.DRAMJ),
+		meshJ:         b(m.Energy.MeshJ),
+		elinkJ:        b(m.Energy.ELinkJ),
+		c2cJ:          b(m.Energy.C2CJ),
+		leakageJ:      b(m.Energy.LeakageJ),
+	}
+}
+
+// TestGoldenEnergyE64 pins every registered workload's computed energy
+// on e64 under the nominal preset, bit for bit, and checks the
+// decoration is purely additive: the time-domain metrics of the metered
+// run are bit-identical to the unmetered golden table in
+// conformance_test.go.
+func TestGoldenEnergyE64(t *testing.T) {
+	for _, w := range epiphany.Workloads() {
+		want, ok := goldenEnergy[w.Name()]
+		if !ok {
+			t.Errorf("%s: no energy golden entry - add one when registering a new built-in", w.Name())
+			continue
+		}
+		res, err := epiphany.Run(context.Background(), w,
+			epiphany.WithPowerModel("epiphany-iv-28nm", ""))
+		if err != nil {
+			t.Errorf("%s: %v", w.Name(), err)
+			continue
+		}
+		m := res.Metrics()
+		if got := takeEnergy(m); got != want {
+			t.Errorf("%s: energy metrics drifted\n got %+v\nwant %+v", w.Name(), got, want)
+		}
+		if m.PowerModel != "epiphany-iv-28nm" || m.DVFS != "600MHz@1.00V" {
+			t.Errorf("%s: model identity %q/%q, want epiphany-iv-28nm at 600MHz@1.00V",
+				w.Name(), m.PowerModel, m.DVFS)
+		}
+		// Energy accounting must not perturb the time domain.
+		tg, ok := golden[goldenKey{"e64", w.Name()}]
+		if !ok {
+			continue
+		}
+		if uint64(m.Elapsed) != tg.elapsed || m.TotalFlops != tg.totalFlops ||
+			math.Float64bits(m.GFLOPS) != tg.gflopsBits || math.Float64bits(m.PctPeak) != tg.pctBits {
+			t.Errorf("%s: attaching the power model moved the time-domain metrics", w.Name())
+		}
+		// The breakdown must sum to the total exactly (same float64
+		// operations in the same order as the model's Total).
+		if m.Energy.Total() != m.EnergyJ {
+			t.Errorf("%s: breakdown sums to %v, EnergyJ %v", w.Name(), m.Energy.Total(), m.EnergyJ)
+		}
+	}
+}
+
+// TestGoldenEnergyAcrossWorkers re-runs the metered registry through
+// the batch Runner at several worker counts - exercising both fresh and
+// recycled pooled Systems - and requires the same frozen bits. Energy,
+// like time, must not depend on concurrency or board reuse.
+func TestGoldenEnergyAcrossWorkers(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		r := &epiphany.Runner{
+			Workers: workers,
+			Options: []epiphany.Option{epiphany.WithPowerModel("epiphany-iv-28nm", "nominal")},
+		}
+		// Two copies of the registry back to back, so later jobs run on
+		// recycled boards whose counters were reset.
+		jobs := make([]epiphany.Job, 0, 2*len(epiphany.Workloads()))
+		for i := 0; i < 2; i++ {
+			for _, w := range epiphany.Workloads() {
+				jobs = append(jobs, epiphany.Job{Workload: w})
+			}
+		}
+		br, err := r.RunBatch(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, jr := range br.Results {
+			if jr.Err != nil {
+				t.Errorf("workers=%d %s: %v", workers, jr.Name, jr.Err)
+				continue
+			}
+			if got := takeEnergy(jr.Result.Metrics()); got != goldenEnergy[jr.Name] {
+				t.Errorf("workers=%d %s: energy differs from the golden bits", workers, jr.Name)
+			}
+		}
+	}
+}

@@ -32,6 +32,14 @@
 //     tables (speedup, parallel efficiency, chip-boundary crossing
 //     share) against a named baseline.
 //
+// Every run can additionally be metered by the event-sourced energy
+// subsystem (WithPowerModel, SweepPlan.Power/DVFS): activity counters
+// accumulated during the simulation are priced into joules, watts and
+// GFLOPS/Watt by a calibrated per-component power model, with DVFS
+// operating points as an analytic frequency/voltage axis - reproducing
+// the paper's §VIII efficiency claims (~32 GFLOPS/W measured-style,
+// 38.4 at peak) from first principles instead of the assumed 2 W.
+//
 // Every simulation is bit-deterministic: the same program and seed
 // produce identical virtual timings and memory contents on every run,
 // sequentially or across a concurrent batch.

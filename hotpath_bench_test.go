@@ -9,12 +9,30 @@ import (
 // the batch Runner once per iteration - the ROADMAP's batch-serving hot
 // path. Workers defaults to GOMAXPROCS; per-job System cost (build or
 // recycle) is inside the measured loop on purpose.
+//
+// Since the energy subsystem landed, this benchmark runs with the
+// activity counters accruing (they are unconditional - bare integer
+// increments on the fabric hot paths); its before/after in BENCH_5.json
+// is the counter-overhead proof for the time-domain path.
 func BenchmarkRunBatch12(b *testing.B) {
+	benchRunBatch12(b, nil)
+}
+
+// BenchmarkRunBatch12Energy is the energy-metered variant: the same
+// batch with the power model attached, adding the per-job counter
+// snapshot and derivation. The delta against BenchmarkRunBatch12 is the
+// full cost of asking for energy; the acceptance bar is <= 2% ns/op
+// with no extra allocations beyond the one decorated result per job.
+func BenchmarkRunBatch12Energy(b *testing.B) {
+	benchRunBatch12(b, []Option{WithPowerModel("epiphany-iv-28nm", "")})
+}
+
+func benchRunBatch12(b *testing.B, opts []Option) {
 	ws := Workloads()
 	if len(ws) < 12 {
 		b.Fatalf("expected >= 12 registered workloads, have %d", len(ws))
 	}
-	r := &Runner{}
+	r := &Runner{Options: opts}
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"epiphany/internal/host"
+	"epiphany/internal/power"
 	"epiphany/internal/sim"
 )
 
@@ -30,6 +31,32 @@ type Metrics struct {
 	ELinkCrossings  uint64
 	ELinkCrossBytes uint64
 	ELinkCrossTime  sim.Time
+
+	// The energy domain, filled only when the run carried a power model
+	// (WithPowerModel / Topology.Power) and zero otherwise. Energy is
+	// derived from the run's activity counters after the fact, so these
+	// fields are purely additive: every time-domain field above is
+	// bit-identical with or without them.
+
+	// PowerModel and DVFS identify the model preset and canonical
+	// operating-point label the energy figures were derived under.
+	PowerModel string
+	DVFS       string
+	// WallTimeS is the run's wall-clock seconds at the operating
+	// point's frequency (Elapsed counts nominal-clock units; a DVFS
+	// point stretches or shrinks the wall clock without changing the
+	// cycle-domain simulation).
+	WallTimeS float64
+	// EnergyJ is the run's total energy, AvgPowerW its mean draw over
+	// WallTimeS, GFLOPSPerWatt the useful-flops efficiency
+	// (TotalFlops/EnergyJ, in GFLOPS/W), and EDPJs the energy-delay
+	// product in joule-seconds.
+	EnergyJ       float64
+	AvgPowerW     float64
+	GFLOPSPerWatt float64
+	EDPJs         float64
+	// Energy is the per-component breakdown of EnergyJ.
+	Energy power.Breakdown
 }
 
 // NoCStats is the interconnect summary captured from the mesh after a
@@ -66,6 +93,23 @@ func (m Metrics) PctTransfer() float64 {
 		return 0
 	}
 	return 100 * float64(m.TransferTime) / float64(total)
+}
+
+// AttachEnergy fills the energy-domain fields from a computed usage
+// report. GFLOPS/Watt uses the run's useful flops (TotalFlops), the
+// same numerator as the GFLOPS column, so efficiency and throughput
+// stay comparable.
+func (m *Metrics) AttachEnergy(u power.Usage) {
+	m.PowerModel = u.Model
+	m.DVFS = u.Point.String()
+	m.WallTimeS = u.TimeS
+	m.EnergyJ = u.EnergyJ
+	m.AvgPowerW = u.AvgPowerW
+	if u.EnergyJ > 0 {
+		m.GFLOPSPerWatt = float64(m.TotalFlops) / 1e9 / u.EnergyJ
+	}
+	m.EDPJs = u.EDPJs
+	m.Energy = u.Breakdown
 }
 
 // cross copies the chip-boundary counters into a Metrics.

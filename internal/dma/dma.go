@@ -32,14 +32,24 @@ type Fabric struct {
 	// Notify, when non-nil, is invoked whenever a transfer deposits data
 	// into a core's SRAM, so pollers of that memory can be re-evaluated.
 	Notify func(core int)
+	// readBytes counts the bytes booked on the read direction of the
+	// off-chip link - counted here, at the single booking site, rather
+	// than inferred from the resource's busy time, so the energy term
+	// stays correct if the read link's timing model ever changes.
+	readBytes uint64
 }
 
 // ELinkReadTime books n bytes on the read direction of the off-chip link
 // starting at t and returns the completion time.
 func (f *Fabric) ELinkReadTime(t sim.Time, n int) sim.Time {
+	f.readBytes += uint64(n)
 	_, end := f.ELinkRead.Use(t, sim.Time(n)*noc.ELinkBytePeriod)
 	return end
 }
+
+// ELinkReadBytes returns the bytes carried by the read direction of the
+// off-chip link (the energy model's eLink read term).
+func (f *Fabric) ELinkReadBytes() uint64 { return f.readBytes }
 
 // Reset returns the shared fabric to its just-built state: mesh links
 // and arbiter queues freed, statistics zeroed, every memory zeroed. The
@@ -48,6 +58,7 @@ func (f *Fabric) Reset() {
 	f.Mesh.Reset()
 	f.ELink.Reset()
 	f.ELinkRead.Reset()
+	f.readBytes = 0
 	for _, s := range f.SRAMs {
 		s.Reset()
 	}

@@ -220,6 +220,16 @@ func (e *ELink) serveNext() {
 // Served returns how many write requests completed for core.
 func (e *ELink) Served(core int) uint64 { return e.served[core] }
 
+// TotalServedBytes returns the bytes the link has carried for all cores
+// together (the energy model's off-chip write term).
+func (e *ELink) TotalServedBytes() uint64 {
+	var sum uint64
+	for _, b := range e.svcBytes {
+		sum += b
+	}
+	return sum
+}
+
 // ServedBytes returns how many bytes were written by core.
 func (e *ELink) ServedBytes(core int) uint64 { return e.svcBytes[core] }
 

@@ -83,6 +83,16 @@ type Mesh struct {
 	// stats
 	writes uint64
 	bytes  uint64
+	// hopBytes accumulates payload bytes x on-chip hops taken, on both
+	// the write network (Deliver) and the read network's round trips
+	// (ReadWord) - the energy model's mesh term. Chip-boundary write
+	// hops are counted in crossBytes and read-trip boundary bytes in
+	// crossReadBytes, since they burn off-chip driver energy instead.
+	// crossReadBytes is separate from crossBytes because the latter is
+	// a frozen time-domain metric (Metrics.ELinkCrossBytes); the energy
+	// capture sums both.
+	hopBytes       uint64
+	crossReadBytes uint64
 	// chip-boundary crossing stats (all zero on a single-chip board)
 	crossings  uint64
 	crossBytes uint64
@@ -151,7 +161,7 @@ func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
 func (m *Mesh) Reset() {
 	clear(m.links)
 	m.errata0 = false
-	m.writes, m.bytes = 0, 0
+	m.writes, m.bytes, m.hopBytes, m.crossReadBytes = 0, 0, 0, 0
 	m.crossings, m.crossBytes, m.crossTime = 0, 0, 0
 }
 
@@ -203,6 +213,7 @@ func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) 
 	ls.freeAt = begin + ser
 	ls.busy += ser
 	ls.uses++
+	m.hopBytes += uint64(n)
 	return begin + HopLatency, false
 }
 
@@ -314,16 +325,26 @@ func (m *Mesh) errata0Hits(src int) bool {
 // ReadWord models a single remote 32-bit load from src's CPU to dst's
 // memory: a full request/response round trip on the read network. Each
 // chip boundary on the route adds a round trip over the chip-to-chip
-// eLink's crossing latency.
+// eLink's crossing latency. The word's traversals are charged to the
+// energy counters (4 bytes each way per hop; boundary legs to the
+// chip-to-chip read counter), doubled when the errata makes the
+// transaction issue twice.
 func (m *Mesh) ReadWord(t sim.Time, src, dst int) (done sim.Time) {
-	hops := sim.Time(m.Distance(src, dst))
-	cost := ReadWordRoundTrip + 2*hops*HopLatency
-	if x := m.amap.ChipCrossings(src, dst); x > 0 {
-		cost += 2 * sim.Time(x) * m.c2cHop
+	hops := m.Distance(src, dst)
+	crossings := m.amap.ChipCrossings(src, dst)
+	cost := ReadWordRoundTrip + 2*sim.Time(hops)*HopLatency
+	trips := uint64(2)
+	if crossings > 0 {
+		cost += 2 * sim.Time(crossings) * m.c2cHop
 	}
 	if m.errata0Hits(src) {
 		cost *= 2 // the transaction issues twice
+		trips = 4
 	}
+	// Distance counts boundary hops too; keep the split Deliver uses
+	// (on-chip byte-hops vs chip-to-chip bytes).
+	m.hopBytes += 4 * trips * uint64(hops-crossings)
+	m.crossReadBytes += 4 * trips * uint64(crossings)
 	return t + cost
 }
 
@@ -332,6 +353,17 @@ func (m *Mesh) Writes() uint64 { return m.writes }
 
 // Bytes returns the total bytes delivered.
 func (m *Mesh) Bytes() uint64 { return m.bytes }
+
+// HopBytes returns the accumulated payload bytes x on-chip hops routed
+// by Deliver plus the read network's round trips - the quantity the
+// energy model prices per byte-hop. Chip-boundary traffic accrues to
+// CrossBytes (writes) and CrossReadBytes (read trips) instead.
+func (m *Mesh) HopBytes() uint64 { return m.hopBytes }
+
+// CrossReadBytes returns the bytes read-network round trips carried
+// over chip-to-chip boundaries. It is kept apart from CrossBytes (a
+// frozen time-domain metric); the energy capture prices their sum.
+func (m *Mesh) CrossReadBytes() uint64 { return m.crossReadBytes }
 
 // linkSlot resolves the directed link leaving router (r,c) towards d to
 // its slot index. ok is false when no such link exists: coordinates off

@@ -132,6 +132,39 @@ func TestReadWordRoundTrip(t *testing.T) {
 	if near != ReadWordRoundTrip+2*HopLatency {
 		t.Fatalf("near read = %v", near)
 	}
+	// Both reads charge the energy counters: 4 bytes each way per hop
+	// (1 hop + 14 hops here), and nothing to the chip-to-chip read
+	// counter on a single chip.
+	if got, want := m.HopBytes(), uint64(4*2*(1+14)); got != want {
+		t.Fatalf("read hop bytes = %d, want %d", got, want)
+	}
+	if m.CrossReadBytes() != 0 {
+		t.Fatalf("single-chip read crossed a chip boundary: %d bytes", m.CrossReadBytes())
+	}
+}
+
+// TestReadWordEnergyCountersCrossChip pins the read network's energy
+// accounting on a multi-chip board: boundary legs accrue to the
+// chip-to-chip read counter (kept apart from the frozen CrossBytes
+// metric), on-chip legs to HopBytes, and Reset clears both.
+func TestReadWordEnergyCountersCrossChip(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, mem.NewBoardMap(1, 2, 4, 4)) // two 4x4 chips side by side
+	idx := m.Map().CoreIndex
+	m.ReadWord(0, idx(0, 0), idx(0, 7)) // 7 hops, 1 of them a boundary crossing
+	if got, want := m.HopBytes(), uint64(4*2*6); got != want {
+		t.Fatalf("on-chip read hop bytes = %d, want %d", got, want)
+	}
+	if got, want := m.CrossReadBytes(), uint64(4*2*1); got != want {
+		t.Fatalf("cross read bytes = %d, want %d", got, want)
+	}
+	if m.CrossBytes() != 0 {
+		t.Fatalf("read traffic leaked into the time-domain CrossBytes metric: %d", m.CrossBytes())
+	}
+	m.Reset()
+	if m.HopBytes() != 0 || m.CrossReadBytes() != 0 {
+		t.Fatalf("Reset kept read counters: hop=%d cross=%d", m.HopBytes(), m.CrossReadBytes())
+	}
 }
 
 func TestDMASerialization(t *testing.T) {

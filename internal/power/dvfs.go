@@ -1,0 +1,66 @@
+package power
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// isPositiveFinite reports whether v is a usable physical quantity:
+// strictly positive and neither NaN nor Inf (NaN compares false to
+// everything, so a plain `v <= 0` check would wave it through - and a
+// NaN operating point would poison derived energy columns and defeat
+// the DVFS axis's dedupe/sort canonicalization).
+func isPositiveFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
+// OperatingPoint is one DVFS frequency/voltage pair: the core clock in
+// MHz and the supply voltage in volts. Operating points scale a run's
+// derived quantities analytically - the discrete-event simulation always
+// executes in nominal clock cycles, which are frequency-invariant, so
+// the time-domain metrics of a run are bit-identical at every point and
+// only the energy/wall-clock conversion changes (dynamic energy scales
+// with V^2, wall time with 1/f, leakage power with V; see Model.Energy).
+type OperatingPoint struct {
+	FreqMHz  float64 `json:"freq_mhz"`
+	VoltageV float64 `json:"voltage_v"`
+}
+
+// String renders the canonical axis spelling, e.g. "600MHz@1.00V". The
+// rendering is fixed-precision so equal points always produce equal
+// labels (sweep cells and golden tables key on it).
+func (o OperatingPoint) String() string {
+	return fmt.Sprintf("%gMHz@%.2fV", o.FreqMHz, o.VoltageV)
+}
+
+// IsZero reports whether the point is unset.
+func (o OperatingPoint) IsZero() bool { return o == OperatingPoint{} }
+
+// ParsePoint parses the textual spelling of a DVFS operating point:
+// "FREQ@VOLT" with an optional "MHz" suffix on the frequency and "V" on
+// the voltage ("600MHz@1.0V", "600@1.0"). Both components must be
+// positive; suffixes are case-insensitive.
+func ParsePoint(s string) (OperatingPoint, error) {
+	var o OperatingPoint
+	f, v, ok := strings.Cut(s, "@")
+	if !ok {
+		return o, fmt.Errorf("epiphany: operating point %q must be FREQ[MHz]@VOLT[V]", s)
+	}
+	f = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(f)), "mhz")
+	v = strings.TrimSuffix(strings.ToLower(strings.TrimSpace(v)), "v")
+	freq, err := strconv.ParseFloat(f, 64)
+	if err != nil {
+		return o, fmt.Errorf("epiphany: operating point %q: bad frequency: %v", s, err)
+	}
+	volt, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return o, fmt.Errorf("epiphany: operating point %q: bad voltage: %v", s, err)
+	}
+	if !isPositiveFinite(freq) || !isPositiveFinite(volt) {
+		return o, fmt.Errorf("epiphany: operating point %q: frequency and voltage must be positive and finite", s)
+	}
+	o.FreqMHz, o.VoltageV = freq, volt
+	return o, nil
+}

@@ -1,0 +1,242 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a per-component energy model of one Epiphany board: every
+// coefficient prices one kind of event the simulator already counts
+// (core-active cycles, flops, memory bytes, mesh byte-hops, chip
+// crossings), plus a static leakage term that accrues with wall time.
+// The model is event-sourced: a run is simulated once, in
+// frequency-invariant clock cycles, and the energy report is derived
+// afterwards from the activity counters - so attaching a model (or
+// changing its operating point) can never perturb the time-domain
+// metrics, which stay bit-identical to an unmetered run.
+//
+// Per-event coefficients are in picojoules at the nominal operating
+// point; leakage is in watts per core at nominal voltage.
+type Model struct {
+	// Name identifies the preset in options and sweep axes
+	// ("epiphany-iv-28nm").
+	Name string `json:"name"`
+
+	// CoreActivePJPerCycle is the dynamic energy of one core clock cycle
+	// in which the core does modelled work (compute, issue, copy loops);
+	// CoreIdlePJPerCycle is the clock-gated cost of every other cycle
+	// (spinning on a flag or blocked on DMA still clocks the core).
+	CoreActivePJPerCycle float64 `json:"core_active_pj_per_cycle"`
+	CoreIdlePJPerCycle   float64 `json:"core_idle_pj_per_cycle"`
+	// FPUPJPerFlop is the incremental energy of one single-precision
+	// floating-point operation, on top of the active-cycle cost.
+	FPUPJPerFlop float64 `json:"fpu_pj_per_flop"`
+	// SRAMPJPerByte and DRAMPJPerByte price bytes moved through a core
+	// scratchpad and the shared off-chip DRAM window respectively.
+	SRAMPJPerByte float64 `json:"sram_pj_per_byte"`
+	DRAMPJPerByte float64 `json:"dram_pj_per_byte"`
+	// MeshPJPerByteHop prices one byte traversing one on-chip mesh
+	// router+link hop; ELinkPJPerByte the off-chip eLink to shared DRAM;
+	// C2CPJPerByte one byte crossing a chip-to-chip eLink boundary.
+	MeshPJPerByteHop float64 `json:"mesh_pj_per_byte_hop"`
+	ELinkPJPerByte   float64 `json:"elink_pj_per_byte"`
+	C2CPJPerByte     float64 `json:"c2c_pj_per_byte"`
+	// LeakageWPerCore is the static power of one core (plus its share of
+	// the uncore) at nominal voltage, in watts. Leakage is paid for the
+	// run's whole wall time, so it grows relatively as the clock slows.
+	LeakageWPerCore float64 `json:"leakage_w_per_core"`
+
+	// Nominal is the operating point the coefficients are calibrated at.
+	Nominal OperatingPoint `json:"nominal"`
+	// Points is the model's DVFS ladder in ascending frequency order
+	// (includes Nominal). Sweeps may also use ad-hoc points.
+	Points []OperatingPoint `json:"points"`
+}
+
+// Counters is the raw activity a run deposited in the simulator's
+// event-sourced counters: the quantities the fabric layers already
+// accumulate on their hot paths (counter increments only - collecting a
+// Counters allocates nothing during the run). All cycle figures are
+// nominal core cycles, which are DVFS-invariant.
+type Counters struct {
+	// Cores is the board's core count (the leakage and idle multiplier).
+	Cores int `json:"cores"`
+	// ElapsedCycles is the run's simulated duration in core cycles.
+	ElapsedCycles float64 `json:"elapsed_cycles"`
+	// ActiveCycles is the modelled-work cycles summed over all cores
+	// (<= Cores*ElapsedCycles; the rest are idle cycles).
+	ActiveCycles float64 `json:"active_cycles"`
+	// Flops counts floating-point operations performed, summed over cores.
+	Flops uint64 `json:"flops"`
+	// SRAMBytes and DRAMBytes count bytes moved through the scratchpad
+	// and shared-DRAM interfaces.
+	SRAMBytes uint64 `json:"sram_bytes"`
+	DRAMBytes uint64 `json:"dram_bytes"`
+	// MeshByteHops counts payload bytes times on-chip mesh hops taken.
+	MeshByteHops uint64 `json:"mesh_byte_hops"`
+	// ELinkBytes counts bytes through the off-chip eLink (both
+	// directions); C2CBytes counts bytes over chip-to-chip boundaries.
+	ELinkBytes uint64 `json:"elink_bytes"`
+	C2CBytes   uint64 `json:"c2c_bytes"`
+}
+
+// Breakdown decomposes a run's energy by component, in joules.
+type Breakdown struct {
+	CoreActiveJ float64 `json:"core_active_j"`
+	CoreIdleJ   float64 `json:"core_idle_j"`
+	FPUJ        float64 `json:"fpu_j"`
+	SRAMJ       float64 `json:"sram_j"`
+	DRAMJ       float64 `json:"dram_j"`
+	MeshJ       float64 `json:"mesh_j"`
+	ELinkJ      float64 `json:"elink_j"`
+	C2CJ        float64 `json:"c2c_j"`
+	LeakageJ    float64 `json:"leakage_j"`
+}
+
+// Total returns the summed energy of all components, in joules.
+func (b Breakdown) Total() float64 {
+	return b.CoreActiveJ + b.CoreIdleJ + b.FPUJ + b.SRAMJ + b.DRAMJ +
+		b.MeshJ + b.ELinkJ + b.C2CJ + b.LeakageJ
+}
+
+// Usage is the computed energy report of one run at one operating point.
+type Usage struct {
+	// Model and Point identify how the report was derived.
+	Model string         `json:"model"`
+	Point OperatingPoint `json:"point"`
+	// TimeS is the run's wall-clock time at the operating point's
+	// frequency, in seconds (= ElapsedCycles / f).
+	TimeS float64 `json:"time_s"`
+	// EnergyJ is the total energy (= Breakdown.Total()), AvgPowerW the
+	// mean draw over TimeS, and EDPJs the energy-delay product.
+	EnergyJ   float64   `json:"energy_j"`
+	AvgPowerW float64   `json:"avg_power_w"`
+	EDPJs     float64   `json:"edp_js"`
+	Breakdown Breakdown `json:"breakdown"`
+}
+
+const picojoule = 1e-12
+
+// Point resolves a DVFS axis label against the model: "" and "nominal"
+// return the nominal point, anything else must parse as FREQ@VOLT (ad
+// hoc points are allowed - the ladder in Points is the hardware's
+// validated set, not a restriction on what can be studied).
+func (m *Model) Point(label string) (OperatingPoint, error) {
+	if label == "" || label == "nominal" {
+		return m.Nominal, nil
+	}
+	return ParsePoint(label)
+}
+
+// Energy derives the run's energy report from its activity counters at
+// the given operating point (the zero point means nominal).
+//
+// The DVFS scaling is the standard analytic model: cycle counts are
+// frequency-invariant, so wall time scales as 1/f; per-event dynamic
+// energies scale with (V/Vnom)^2 (the CV^2 switching energy); static
+// leakage power scales linearly with V and is paid over the stretched
+// wall time - which is exactly why racing to idle can beat frequency
+// scaling once leakage dominates.
+func (m *Model) Energy(c Counters, op OperatingPoint) Usage {
+	if op.IsZero() {
+		op = m.Nominal
+	}
+	vr := op.VoltageV / m.Nominal.VoltageV
+	dyn := vr * vr * picojoule // scaled pJ -> J conversion for dynamic events
+	timeS := c.ElapsedCycles / (op.FreqMHz * 1e6)
+	idleCycles := float64(c.Cores)*c.ElapsedCycles - c.ActiveCycles
+	if idleCycles < 0 {
+		idleCycles = 0
+	}
+	b := Breakdown{
+		CoreActiveJ: c.ActiveCycles * m.CoreActivePJPerCycle * dyn,
+		CoreIdleJ:   idleCycles * m.CoreIdlePJPerCycle * dyn,
+		FPUJ:        float64(c.Flops) * m.FPUPJPerFlop * dyn,
+		SRAMJ:       float64(c.SRAMBytes) * m.SRAMPJPerByte * dyn,
+		DRAMJ:       float64(c.DRAMBytes) * m.DRAMPJPerByte * dyn,
+		MeshJ:       float64(c.MeshByteHops) * m.MeshPJPerByteHop * dyn,
+		ELinkJ:      float64(c.ELinkBytes) * m.ELinkPJPerByte * dyn,
+		C2CJ:        float64(c.C2CBytes) * m.C2CPJPerByte * dyn,
+		LeakageJ:    m.LeakageWPerCore * float64(c.Cores) * vr * timeS,
+	}
+	u := Usage{
+		Model:     m.Name,
+		Point:     op,
+		TimeS:     timeS,
+		EnergyJ:   b.Total(),
+		Breakdown: b,
+	}
+	if timeS > 0 {
+		u.AvgPowerW = u.EnergyJ / timeS
+	}
+	u.EDPJs = u.EnergyJ * timeS
+	return u
+}
+
+// PeakCounters builds the synthetic full-load activity of cores cores
+// running flat out for seconds of wall time at nominal frequency: every
+// core active every cycle, two flops per core per cycle (the FPU's
+// fused multiply-add peak), and the matching operand traffic through
+// local SRAM (12 bytes per core-cycle: two 4-byte reads and one write).
+// It is the model's calibration scenario - Energy over these counters
+// is the chip's peak draw, which the nominal Epiphany preset fits to
+// the paper's assumed 2 W.
+func (m *Model) PeakCounters(cores int, seconds float64) Counters {
+	cycles := seconds * m.Nominal.FreqMHz * 1e6
+	return Counters{
+		Cores:         cores,
+		ElapsedCycles: cycles,
+		ActiveCycles:  float64(cores) * cycles,
+		Flops:         uint64(2 * float64(cores) * cycles),
+		SRAMBytes:     uint64(12 * float64(cores) * cycles),
+	}
+}
+
+// PeakGFLOPS returns the board's theoretical single-precision peak at
+// the operating point: cores x 2 flops/cycle x f.
+func (m *Model) PeakGFLOPS(cores int, op OperatingPoint) float64 {
+	if op.IsZero() {
+		op = m.Nominal
+	}
+	return 2 * float64(cores) * op.FreqMHz / 1e3
+}
+
+// PeakPowerW returns the modelled full-load draw of cores cores at the
+// operating point (Energy over PeakCounters).
+func (m *Model) PeakPowerW(cores int, op OperatingPoint) float64 {
+	return m.Energy(m.PeakCounters(cores, 1e-3), op).AvgPowerW
+}
+
+// PeakEfficiency returns the modelled peak GFLOPS/Watt at the operating
+// point - the computed counterpart of the paper's 38.4 figure.
+func (m *Model) PeakEfficiency(cores int, op OperatingPoint) float64 {
+	return m.PeakGFLOPS(cores, op) / m.PeakPowerW(cores, op)
+}
+
+// Validate checks the model is usable: named, positive nominal point,
+// non-negative coefficients, and a sane ladder.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("epiphany: power model must be named")
+	}
+	if !isPositiveFinite(m.Nominal.FreqMHz) || !isPositiveFinite(m.Nominal.VoltageV) {
+		return fmt.Errorf("epiphany: power model %q: nominal point %v must have positive finite frequency and voltage", m.Name, m.Nominal)
+	}
+	for _, c := range []float64{
+		m.CoreActivePJPerCycle, m.CoreIdlePJPerCycle, m.FPUPJPerFlop,
+		m.SRAMPJPerByte, m.DRAMPJPerByte, m.MeshPJPerByteHop,
+		m.ELinkPJPerByte, m.C2CPJPerByte, m.LeakageWPerCore,
+	} {
+		// NaN compares false to everything, so test for the acceptable
+		// range rather than the unacceptable one.
+		if !(c >= 0) || math.IsInf(c, 1) {
+			return fmt.Errorf("epiphany: power model %q has a negative or non-finite coefficient", m.Name)
+		}
+	}
+	for _, p := range m.Points {
+		if !isPositiveFinite(p.FreqMHz) || !isPositiveFinite(p.VoltageV) {
+			return fmt.Errorf("epiphany: power model %q: ladder point %v must have positive finite frequency and voltage", m.Name, p)
+		}
+	}
+	return nil
+}

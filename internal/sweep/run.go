@@ -17,6 +17,7 @@ import (
 type CellResult struct {
 	Workload string  `json:"workload"`
 	Topology string  `json:"topology"` // the Topo key
+	DVFS     string  `json:"dvfs,omitempty"`
 	Seed     *uint64 `json:"seed,omitempty"`
 	// Cores is the number of cores the workload's topology-fitted
 	// workgroup occupies; the efficiency denominator.
@@ -36,6 +37,12 @@ type CellResult struct {
 	// like a multi-core CPU percentage - concurrent crossings can push
 	// the value above 1 (0 on single-chip boards).
 	CrossShare float64 `json:"cross_share"`
+	// EnergyRel and EDPRel compare this cell's energy-to-solution and
+	// energy-delay product against the same workload/DVFS/seed cell on
+	// the plan's baseline topology (1 for the baseline cell itself; 0
+	// when no power model is attached or the baseline is missing).
+	EnergyRel float64 `json:"energy_rel,omitempty"`
+	EDPRel    float64 `json:"edp_rel,omitempty"`
 }
 
 // Result is an executed sweep: the normalized plan and one CellResult
@@ -71,6 +78,9 @@ func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
 		}
 		cores[i] = workload.UsedCores(w, st.Rows(), st.Cols())
 		opts := []workload.Option{workload.WithTopology(st)}
+		if p.Power != "" {
+			opts = append(opts, workload.WithPowerModel(p.Power, c.DVFS))
+		}
 		if c.Seed != nil {
 			opts = append(opts, workload.WithSeed(*c.Seed))
 		}
@@ -86,6 +96,7 @@ func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
 		cr := CellResult{
 			Workload: c.Workload,
 			Topology: c.Topo.Key(),
+			DVFS:     c.DVFS,
 			Seed:     c.Seed,
 			Cores:    cores[i],
 		}
@@ -103,19 +114,22 @@ func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
 	return res, nil
 }
 
-// derive fills the speedup and efficiency columns from the baseline
-// cells. Cells index as workload-major, seed-minor (the Expand order),
-// so the baseline for cell (w, topo, seed) is (w, p.Baseline, seed).
+// derive fills the speedup, efficiency and relative-energy columns from
+// the baseline cells: the baseline for cell (w, topo, dvfs, seed) is
+// (w, p.Baseline, dvfs, seed) - scaling is always compared at the same
+// operating point, so the DVFS axis reads as frequency scaling and the
+// topology axis as strong scaling.
 func (r *Result) derive() {
 	type baseKey struct {
 		workload string
+		dvfs     string
 		seed     string
 	}
 	base := make(map[baseKey]*CellResult)
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		if c.Topology == r.Plan.Baseline && c.Err == "" {
-			base[baseKey{c.Workload, seedLabel(c.Seed)}] = c
+			base[baseKey{c.Workload, c.DVFS, seedLabel(c.Seed)}] = c
 		}
 	}
 	for i := range r.Cells {
@@ -123,12 +137,18 @@ func (r *Result) derive() {
 		if c.Err != "" {
 			continue
 		}
-		b, ok := base[baseKey{c.Workload, seedLabel(c.Seed)}]
+		b, ok := base[baseKey{c.Workload, c.DVFS, seedLabel(c.Seed)}]
 		if !ok || c.Metrics.Elapsed == 0 || b.Cores == 0 || c.Cores == 0 {
 			continue
 		}
 		c.Speedup = float64(b.Metrics.Elapsed) / float64(c.Metrics.Elapsed)
 		c.Efficiency = c.Speedup * float64(b.Cores) / float64(c.Cores)
+		if b.Metrics.EnergyJ > 0 {
+			c.EnergyRel = c.Metrics.EnergyJ / b.Metrics.EnergyJ
+		}
+		if b.Metrics.EDPJs > 0 {
+			c.EDPRel = c.Metrics.EDPJs / b.Metrics.EDPJs
+		}
 	}
 }
 
@@ -141,31 +161,53 @@ func seedLabel(s *uint64) string {
 	return strconv.FormatUint(*s, 10)
 }
 
-// header rows shared by the human renderers.
-var prettyHeader = []string{
-	"workload", "topology", "seed", "cores", "time (ms)", "GFLOPS",
-	"% peak", "speedup", "efficiency", "x-chip %", "error",
+// energyOn reports whether the executed plan carried a power model -
+// the switch that adds the energy columns. Without it every renderer
+// produces byte-identical output to the pre-energy subsystem, which is
+// what keeps the checked-in time-domain goldens frozen.
+func (r *Result) energyOn() bool { return r.Plan.Power != "" }
+
+// prettyHeader returns the human renderers' header row.
+func (r *Result) prettyHeader() []string {
+	h := []string{"workload", "topology"}
+	if r.energyOn() {
+		h = append(h, "dvfs")
+	}
+	h = append(h, "seed", "cores", "time (ms)", "GFLOPS", "% peak",
+		"speedup", "efficiency", "x-chip %")
+	if r.energyOn() {
+		h = append(h, "wall (ms)", "energy (mJ)", "avg W", "GFLOPS/W", "energy rel", "EDP rel")
+	}
+	return append(h, "error")
 }
 
 // prettyRows formats the cells at fixed precision for Text and
 // Markdown.
 func (r *Result) prettyRows() [][]string {
+	energy := r.energyOn()
 	rows := make([][]string, 0, len(r.Cells))
 	for _, c := range r.Cells {
 		if c.Err != "" {
-			rows = append(rows, []string{
-				c.Workload, c.Topology, seedLabel(c.Seed), "-",
-				"-", "-", "-", "-", "-", "-", c.Err,
-			})
+			row := []string{c.Workload, c.Topology}
+			if energy {
+				row = append(row, c.DVFS)
+			}
+			row = append(row, seedLabel(c.Seed), "-", "-", "-", "-", "-", "-", "-")
+			if energy {
+				row = append(row, "-", "-", "-", "-", "-", "-")
+			}
+			rows = append(rows, append(row, c.Err))
 			continue
 		}
 		xchip := "-"
 		if c.Metrics.ELinkCrossings > 0 {
 			xchip = fmt.Sprintf("%.1f", 100*c.CrossShare)
 		}
-		rows = append(rows, []string{
-			c.Workload,
-			c.Topology,
+		row := []string{c.Workload, c.Topology}
+		if energy {
+			row = append(row, c.DVFS)
+		}
+		row = append(row,
 			seedLabel(c.Seed),
 			strconv.Itoa(c.Cores),
 			fmt.Sprintf("%.3f", c.Metrics.Elapsed.Seconds()*1e3),
@@ -174,16 +216,27 @@ func (r *Result) prettyRows() [][]string {
 			fmt.Sprintf("%.2f", c.Speedup),
 			fmt.Sprintf("%.2f", c.Efficiency),
 			xchip,
-			"",
-		})
+		)
+		if energy {
+			row = append(row,
+				fmt.Sprintf("%.3f", c.Metrics.WallTimeS*1e3),
+				fmt.Sprintf("%.3f", c.Metrics.EnergyJ*1e3),
+				fmt.Sprintf("%.3f", c.Metrics.AvgPowerW),
+				fmt.Sprintf("%.2f", c.Metrics.GFLOPSPerWatt),
+				fmt.Sprintf("%.2f", c.EnergyRel),
+				fmt.Sprintf("%.2f", c.EDPRel),
+			)
+		}
+		rows = append(rows, append(row, ""))
 	}
 	return rows
 }
 
 // Table returns the result as a tabular grid with the derived scaling
-// columns, for callers that want to render it themselves.
+// columns (plus the energy columns when the plan carries a power
+// model), for callers that want to render it themselves.
 func (r *Result) Table() *tabular.Table {
-	return &tabular.Table{Header: prettyHeader, Rows: r.prettyRows()}
+	return &tabular.Table{Header: r.prettyHeader(), Rows: r.prettyRows()}
 }
 
 // Text renders the scaling table as aligned monospace text, with a
@@ -202,28 +255,48 @@ func (r *Result) Markdown() string {
 // CSV renders the machine-grade table: exact integer metrics
 // (elapsed in sim.Time units, flops, crossing counters) and
 // full-precision floats, so the output pins the simulation bit for bit
-// and can be checked in as a golden file.
+// and can be checked in as a golden file. Plans carrying a power model
+// append the energy columns (wall seconds at the operating point,
+// joules total and per component, watts, GFLOPS/W, EDP, and the
+// baseline-relative ratios); without one the bytes are identical to the
+// pre-energy renderer.
 func (r *Result) CSV() string {
-	t := &tabular.Table{Header: []string{
-		"workload", "topology", "seed", "cores",
+	energy := r.energyOn()
+	header := []string{"workload", "topology"}
+	if energy {
+		header = append(header, "dvfs")
+	}
+	header = append(header, "seed", "cores",
 		"elapsed_units", "total_flops", "gflops", "pct_peak",
 		"speedup", "efficiency",
-		"xchip_crossings", "xchip_bytes", "xchip_time_units", "xchip_share",
-		"error",
-	}}
+		"xchip_crossings", "xchip_bytes", "xchip_time_units", "xchip_share")
+	if energy {
+		header = append(header, "wall_s", "energy_j", "avg_power_w",
+			"gflops_per_w", "edp_js", "energy_rel", "edp_rel",
+			"e_core_active_j", "e_core_idle_j", "e_fpu_j", "e_sram_j",
+			"e_dram_j", "e_mesh_j", "e_elink_j", "e_c2c_j", "e_leakage_j")
+	}
+	t := &tabular.Table{Header: append(header, "error")}
 	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, c := range r.Cells {
 		if c.Err != "" {
-			t.Rows = append(t.Rows, []string{
-				c.Workload, c.Topology, seedLabel(c.Seed), strconv.Itoa(c.Cores),
-				"", "", "", "", "", "", "", "", "", "", c.Err,
-			})
+			row := []string{c.Workload, c.Topology}
+			if energy {
+				row = append(row, c.DVFS)
+			}
+			row = append(row, seedLabel(c.Seed), strconv.Itoa(c.Cores))
+			for len(row) < len(t.Header)-1 {
+				row = append(row, "")
+			}
+			t.Rows = append(t.Rows, append(row, c.Err))
 			continue
 		}
 		m := c.Metrics
-		t.Rows = append(t.Rows, []string{
-			c.Workload,
-			c.Topology,
+		row := []string{c.Workload, c.Topology}
+		if energy {
+			row = append(row, c.DVFS)
+		}
+		row = append(row,
 			seedLabel(c.Seed),
 			strconv.Itoa(c.Cores),
 			strconv.FormatUint(uint64(m.Elapsed), 10),
@@ -236,8 +309,17 @@ func (r *Result) CSV() string {
 			strconv.FormatUint(m.ELinkCrossBytes, 10),
 			strconv.FormatUint(uint64(m.ELinkCrossTime), 10),
 			g(c.CrossShare),
-			"",
-		})
+		)
+		if energy {
+			row = append(row,
+				g(m.WallTimeS), g(m.EnergyJ), g(m.AvgPowerW),
+				g(m.GFLOPSPerWatt), g(m.EDPJs), g(c.EnergyRel), g(c.EDPRel),
+				g(m.Energy.CoreActiveJ), g(m.Energy.CoreIdleJ), g(m.Energy.FPUJ),
+				g(m.Energy.SRAMJ), g(m.Energy.DRAMJ), g(m.Energy.MeshJ),
+				g(m.Energy.ELinkJ), g(m.Energy.C2CJ), g(m.Energy.LeakageJ),
+			)
+		}
+		t.Rows = append(t.Rows, append(row, ""))
 	}
 	return t.CSV()
 }

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"epiphany/internal/power"
 	"epiphany/internal/sim"
 	"epiphany/internal/system"
 	"epiphany/internal/workload"
@@ -144,13 +145,30 @@ type Plan struct {
 	// compare against; empty picks the first topology in canonical
 	// (scaling) order.
 	Baseline string `json:"baseline,omitempty"`
+	// Power names the power-model preset (power.Models) applied to
+	// every cell; empty runs a time-domain-only sweep whose output is
+	// byte-identical to a sweep without energy accounting at all.
+	Power string `json:"power,omitempty"`
+	// DVFS is the operating-point axis, each value spelled
+	// "FREQ[MHz]@VOLT[V]" or "nominal"; it requires Power. Empty with
+	// Power set means the model's nominal point only. Each point is
+	// executed as its own grid cell (one simulation per cell, like
+	// every other axis, keeping the grid machinery uniform); the cycle
+	// domain is frequency-invariant, so those runs produce identical
+	// time-domain metrics and differ only in the derived energy and
+	// wall-clock columns - the cost of the uniformity is re-simulating
+	// a run whose outcome is already known, acceptable at this
+	// simulator's milliseconds-per-cell scale.
+	DVFS []string `json:"dvfs,omitempty"`
 }
 
 // Cell is one point of the expanded grid. Seed is nil when the
-// workload's registered default seed applies.
+// workload's registered default seed applies; DVFS is empty when the
+// plan has no power model.
 type Cell struct {
 	Workload string  `json:"workload"`
 	Topo     Topo    `json:"topo"`
+	DVFS     string  `json:"dvfs,omitempty"`
 	Seed     *uint64 `json:"seed,omitempty"`
 }
 
@@ -218,14 +236,68 @@ func (p Plan) Normalize() (Plan, error) {
 	} else if !seen[p.Baseline] {
 		return p, fmt.Errorf("epiphany: baseline %q is not on the sweep's topology axis", p.Baseline)
 	}
+	if err := p.normalizeDVFS(); err != nil {
+		return p, err
+	}
 	return p, nil
 }
 
+// normalizeDVFS validates the energy axes and canonicalizes the
+// operating-point labels: each spelling is resolved against the power
+// model, re-rendered in canonical form, deduplicated and sorted by
+// ascending frequency (voltage breaking ties) - so like the other axes,
+// the expansion order is a function of the point set, not of how it was
+// written. A plan with a power model but no explicit points gets the
+// model's nominal point.
+func (p *Plan) normalizeDVFS() error {
+	if p.Power == "" {
+		if len(p.DVFS) > 0 {
+			return fmt.Errorf("epiphany: DVFS axis %v requires a power model (Plan.Power)", p.DVFS)
+		}
+		return nil
+	}
+	m, err := power.ResolveModel(p.Power)
+	if err != nil {
+		return err
+	}
+	if len(p.DVFS) == 0 {
+		p.DVFS = []string{m.Nominal.String()}
+		return nil
+	}
+	pts := make([]power.OperatingPoint, 0, len(p.DVFS))
+	seen := make(map[power.OperatingPoint]bool, len(p.DVFS))
+	for _, label := range p.DVFS {
+		op, err := m.Point(label)
+		if err != nil {
+			return err
+		}
+		if seen[op] {
+			continue
+		}
+		seen[op] = true
+		pts = append(pts, op)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].FreqMHz != pts[j].FreqMHz {
+			return pts[i].FreqMHz < pts[j].FreqMHz
+		}
+		return pts[i].VoltageV < pts[j].VoltageV
+	})
+	p.DVFS = make([]string, len(pts))
+	for i, op := range pts {
+		p.DVFS[i] = op.String()
+	}
+	return nil
+}
+
 // Expand returns the plan's cartesian job grid - every workload at
-// every topology at every seed - in the plan's axis order, workloads
-// outermost, seeds innermost. Called on a normalized plan the order is
-// canonical: permuting the values inside any axis of the original plan
-// yields the identical expansion.
+// every topology at every operating point at every seed - in the plan's
+// axis order: workloads outermost, then topologies, then DVFS points,
+// seeds innermost. Called on a normalized plan the order is canonical:
+// permuting the values inside any axis of the original plan yields the
+// identical expansion. Without a power model the DVFS axis collapses to
+// a single empty label and the expansion is identical to an energy-free
+// plan's.
 func (p Plan) Expand() []Cell {
 	seeds := make([]*uint64, 0, max(len(p.Seeds), 1))
 	if len(p.Seeds) == 0 {
@@ -236,11 +308,17 @@ func (p Plan) Expand() []Cell {
 			seeds = append(seeds, &v)
 		}
 	}
-	cells := make([]Cell, 0, len(p.Workloads)*len(p.Topos)*len(seeds))
+	dvfs := p.DVFS
+	if len(dvfs) == 0 {
+		dvfs = []string{""}
+	}
+	cells := make([]Cell, 0, len(p.Workloads)*len(p.Topos)*len(dvfs)*len(seeds))
 	for _, w := range p.Workloads {
 		for _, t := range p.Topos {
-			for _, s := range seeds {
-				cells = append(cells, Cell{Workload: w, Topo: t, Seed: s})
+			for _, d := range dvfs {
+				for _, s := range seeds {
+					cells = append(cells, Cell{Workload: w, Topo: t, DVFS: d, Seed: s})
+				}
 			}
 		}
 	}

@@ -102,8 +102,12 @@ func (s *System) Acquire() error {
 // RunStencil executes a full host-orchestrated stencil experiment.
 //
 // Deprecated: wrap the config in a StencilWorkload and execute it with
-// epiphany.Run or Runner.RunBatch, which also provide mesh-size, seed
-// and trace options.
+// epiphany.Run or Runner.RunBatch - for example
+// epiphany.Run(ctx, &epiphany.StencilWorkload{Config: cfg}). The
+// workload path is where every newer capability lives: topology and
+// mesh-size selection, seed rebasing, trace capture, energy accounting
+// (WithPowerModel) and System pooling. This shim runs on the default
+// board only and is kept so pre-workload callers compile.
 func (s *System) RunStencil(cfg core.StencilConfig) (*core.StencilResult, error) {
 	if err := s.Acquire(); err != nil {
 		return nil, err
@@ -114,7 +118,10 @@ func (s *System) RunStencil(cfg core.StencilConfig) (*core.StencilResult, error)
 // RunMatmul executes a full host-orchestrated matrix multiplication.
 //
 // Deprecated: wrap the config in a MatmulWorkload and execute it with
-// epiphany.Run or Runner.RunBatch.
+// epiphany.Run or Runner.RunBatch - for example
+// epiphany.Run(ctx, &epiphany.MatmulWorkload{Config: cfg}). See
+// RunStencil's deprecation note: the workload path carries the
+// topology, seed, trace and energy options this shim lacks.
 func (s *System) RunMatmul(cfg core.MatmulConfig) (*core.MatmulResult, error) {
 	if err := s.Acquire(); err != nil {
 		return nil, err
@@ -127,7 +134,10 @@ func (s *System) RunMatmul(cfg core.MatmulConfig) (*core.MatmulResult, error) {
 // chip, with TBlock iterations applied per residency.
 //
 // Deprecated: wrap the config in a StreamStencilWorkload and execute it
-// with epiphany.Run or Runner.RunBatch.
+// with epiphany.Run or Runner.RunBatch - for example
+// epiphany.Run(ctx, &epiphany.StreamStencilWorkload{Config: cfg}). See
+// RunStencil's deprecation note: the workload path carries the
+// topology, seed, trace and energy options this shim lacks.
 func (s *System) RunStreamStencil(cfg core.StreamStencilConfig) (*core.StreamStencilResult, error) {
 	if err := s.Acquire(); err != nil {
 		return nil, err

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"epiphany/internal/power"
+	"epiphany/internal/system"
+)
+
+// energyResult decorates a workload's Result with the energy metrics
+// derived from the board's activity counters. The underlying result is
+// embedded, so its own methods stay reachable; callers that need the
+// concrete result type (for gathered grids, product matrices, ...)
+// unwrap it first.
+type energyResult struct {
+	Result
+	metrics Metrics
+}
+
+// Metrics reports the inner result's metrics with the energy domain
+// filled in.
+func (r *energyResult) Metrics() Metrics { return r.metrics }
+
+// Unwrap returns the undecorated workload result, for type assertions
+// on its concrete type.
+func (r *energyResult) Unwrap() Result { return r.Result }
+
+// Unwrap peels any energy decoration off a Result, returning the
+// workload's own concrete result.
+func Unwrap(res Result) Result {
+	for {
+		u, ok := res.(interface{ Unwrap() Result })
+		if !ok {
+			return res
+		}
+		res = u.Unwrap()
+	}
+}
+
+// attachEnergy derives the run's energy report from sys's activity
+// counters under the topology's power model and operating point, and
+// returns the result decorated with the energy-domain metrics. It must
+// run before the System is reset or recycled (the counters are board
+// state).
+func attachEnergy(res Result, sys *system.System, topo system.Topology) (Result, error) {
+	model, err := power.ResolveModel(topo.Power)
+	if err != nil {
+		return nil, err
+	}
+	op, err := model.Point(topo.DVFS)
+	if err != nil {
+		return nil, err
+	}
+	m := res.Metrics()
+	usage := model.Energy(sys.EnergyCounters(m.Elapsed), op)
+	m.AttachEnergy(usage)
+	return &energyResult{Result: res, metrics: m}, nil
+}

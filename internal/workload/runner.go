@@ -142,7 +142,10 @@ func (r *Runner) RunWorkloads(ctx context.Context, ws ...Workload) (*BatchResult
 // out the cached board when the requested topology matches; put takes a
 // board back only after System.Reset has certified it pristine, so a
 // pooled System is always indistinguishable from a fresh one. Pools are
-// per-worker and therefore unsynchronized.
+// per-worker and therefore unsynchronized. The match is whole-Topology
+// equality, so every experiment-axis identity pools separately: the C2C
+// timing overrides and the power model / DVFS point ride in the
+// Topology value.
 type sysPool struct {
 	topo system.Topology
 	sys  *system.System

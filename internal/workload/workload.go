@@ -66,11 +66,16 @@ type TopologyFitter interface {
 	FitTopology(rows, cols int) Workload
 }
 
-// runConfig collects the option-settable knobs for one run.
+// runConfig collects the option-settable knobs for one run. The power
+// model and DVFS point are kept beside the topology until prepare folds
+// them into it, so WithPowerModel composes with WithTopology in either
+// order.
 type runConfig struct {
 	topo  system.Topology
 	seed  *uint64
 	trace io.Writer
+	power string
+	dvfs  string
 }
 
 // Option configures how Run (and Runner) executes a workload.
@@ -104,6 +109,19 @@ func WithTrace(w io.Writer) Option {
 	return func(rc *runConfig) { rc.trace = w }
 }
 
+// WithPowerModel attaches the named power-model preset (see
+// power.Models) and optional DVFS operating point ("FREQ[MHz]@VOLT[V]",
+// or ""/"nominal" for the model's nominal point) to the run: after the
+// simulation completes, its activity counters are priced into the
+// Metrics' energy fields (EnergyJ, AvgPowerW, GFLOPSPerWatt, EDPJs and
+// the per-component breakdown). The model is derivation-only - the
+// time-domain metrics are bit-identical with or without it - but it is
+// part of the run's experiment identity: Runner pools boards per
+// (topology, model, point), exactly as it pools per C2C override.
+func WithPowerModel(model, dvfs string) Option {
+	return func(rc *runConfig) { rc.power, rc.dvfs = model, dvfs }
+}
+
 // Run validates w and executes it on a fresh System built according to
 // the options. It is the one-shot form of Runner.RunBatch.
 func Run(ctx context.Context, w Workload, opts ...Option) (Result, error) {
@@ -128,6 +146,9 @@ func prepare(w Workload, opts []Option) (Workload, runConfig, error) {
 	}
 	for _, o := range opts {
 		o(&rc)
+	}
+	if rc.power != "" || rc.dvfs != "" {
+		rc.topo = rc.topo.WithPower(rc.power, rc.dvfs)
 	}
 	if err := rc.topo.Validate(); err != nil {
 		return nil, rc, err
@@ -156,6 +177,12 @@ func runOn(ctx context.Context, w Workload, sys *system.System, rc *runConfig) (
 	res, err := w.Run(ctx, sys)
 	if err != nil {
 		return nil, err
+	}
+	if rc.topo.Power != "" {
+		res, err = attachEnergy(res, sys, rc.topo)
+		if err != nil {
+			return nil, fmt.Errorf("epiphany: energy accounting for %q: %w", w.Name(), err)
+		}
 	}
 	if rc.trace != nil {
 		if _, err := io.WriteString(rc.trace, trace.Take(sys.Chip()).String()); err != nil {

@@ -46,4 +46,9 @@ func Sweep(ctx context.Context, p SweepPlan, workers int) (*SweepResult, error) 
 // a preset name ("e64"), an ad-hoc single-chip mesh ("4x8"), either
 // optionally followed by "/c2c=BYTE:HOP" chip-to-chip timing overrides
 // in simulation time units (e.g. "cluster-2x2/c2c=40:600").
+//
+// The energy axes are declared separately on the plan: SweepPlan.Power
+// names a power-model preset and SweepPlan.DVFS lists operating points
+// (ParseDVFSPoint spells them), which Sweep crosses with every
+// workload/topology/seed cell and prices into energy columns.
 func ParseSweepTopo(s string) (SweepTopo, error) { return sweep.ParseTopo(s) }

@@ -84,6 +84,113 @@ func TestSweepOutputIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestParseSweepTopoErrors drives the topology-axis parser through its
+// error paths: malformed and out-of-range c2c overrides, degenerate
+// meshes, and unknown presets. (Happy paths are exercised by every
+// sweep test; these are the spellings that must be *rejected*, with a
+// message a CLI user can act on.)
+func TestParseSweepTopoErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr string // substring of the error
+	}{
+		{"nope", "unknown topology preset"},
+		{"", "invalid topology"}, // empty spec parses as a degenerate ad-hoc mesh
+		{"e65", "unknown topology preset"},
+		{"0x0", "invalid topology"},
+		{"0x4", "invalid topology"},
+		{"-1x4", "invalid topology"},
+		{"4x-1", "invalid topology"},
+		{"99x99", "does not fit"},
+		{"e64/c2c=40", "must be BYTE:HOP"},
+		{"e64/c2c=:", "bad c2c byte period"},
+		{"e64/c2c=a:5", "bad c2c byte period"},
+		{"e64/c2c=5:b", "bad c2c hop latency"},
+		{"e64/c2c=-1:5", "bad c2c byte period"},
+		{"e64/c2c=5:-1", "bad c2c hop latency"},
+		{"e64/c2c=99999999999999999999:5", "bad c2c byte period"},
+		{"cluster-2x2/c2c=4000000000:1", "out of range"},
+	}
+	for _, tc := range cases {
+		_, err := epiphany.ParseSweepTopo(tc.in)
+		if err == nil {
+			t.Errorf("ParseSweepTopo(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseSweepTopo(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+		}
+	}
+
+	// Zero-valued c2c components are legal: they keep the calibrated
+	// defaults rather than meaning "free".
+	topo, err := epiphany.ParseSweepTopo("cluster-2x2/c2c=0:0")
+	if err != nil {
+		t.Fatalf("zero c2c override rejected: %v", err)
+	}
+	if topo.Key() != "cluster-2x2" {
+		t.Errorf("zero override key %q, want the bare preset", topo.Key())
+	}
+}
+
+// TestParseDVFSPointSpellings pins the DVFS axis spelling, table-driven
+// over accepted and rejected forms.
+func TestParseDVFSPointSpellings(t *testing.T) {
+	good := []struct {
+		in   string
+		want epiphany.OperatingPoint
+	}{
+		{"600MHz@1.0V", epiphany.OperatingPoint{FreqMHz: 600, VoltageV: 1.0}},
+		{"600@1.0", epiphany.OperatingPoint{FreqMHz: 600, VoltageV: 1.0}},
+		{"300mhz@0.80v", epiphany.OperatingPoint{FreqMHz: 300, VoltageV: 0.8}},
+		{"712.5@1.05", epiphany.OperatingPoint{FreqMHz: 712.5, VoltageV: 1.05}},
+	}
+	for _, tc := range good {
+		got, err := epiphany.ParseDVFSPoint(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDVFSPoint(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "600", "600MHz", "@1.0", "600@", "a@b", "0@1.0", "600@0", "-300@0.8", "300@-0.8", "nan@1.0", "inf@1.0", "600@nan"} {
+		if _, err := epiphany.ParseDVFSPoint(bad); err == nil {
+			t.Errorf("ParseDVFSPoint(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEnergySweepDeterministic: a sweep with the power model and a DVFS
+// axis renders bit-identical CSV/JSON across repeated runs and worker
+// counts, like the time-domain sweep it extends.
+func TestEnergySweepDeterministic(t *testing.T) {
+	plan := epiphany.SweepPlan{
+		Workloads: []string{"stencil-tuned", "stream-stencil"},
+		Topos:     []epiphany.SweepTopo{{Preset: "e64"}, {Preset: "cluster-2x2"}},
+		Power:     "epiphany-iv-28nm",
+		DVFS:      []string{"300@0.8", "600@1.0"},
+	}
+	render := func(workers int) [2]string {
+		res, err := epiphany.Sweep(context.Background(), plan, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [2]string{res.CSV(), string(js)}
+	}
+	first := render(1)
+	if again := render(1); again != first {
+		t.Fatal("energy sweep output not identical across consecutive runs")
+	}
+	if par := render(8); par != first {
+		t.Fatal("energy sweep output differs between -workers=1 and -workers=8")
+	}
+	if !strings.Contains(first[0], "energy_j") || !strings.Contains(first[0], "300MHz@0.80V") {
+		t.Fatalf("energy CSV lacks the energy columns or DVFS labels:\n%s", first[0])
+	}
+}
+
 func TestSweepTableHasScalingColumns(t *testing.T) {
 	res, err := epiphany.Sweep(context.Background(), epiphany.SweepPlan{
 		Workloads: []string{"matmul-offchip"},

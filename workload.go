@@ -21,11 +21,13 @@ type (
 	// concrete types (StencilResult, MatmulResult, ...) carry richer
 	// data reachable by type assertion.
 	Result = workload.Result
-	// Metrics is the common performance summary: GFLOPS, % of peak, and
-	// the compute/transfer split for runs that page through shared DRAM.
+	// Metrics is the common performance summary: GFLOPS, % of peak, the
+	// compute/transfer split for runs that page through shared DRAM,
+	// and - when a power model is attached - the energy domain (joules,
+	// watts, GFLOPS/W, EDP, per-component breakdown).
 	Metrics = workload.Metrics
 	// Option configures a run: WithTopology, WithMeshSize, WithSeed,
-	// WithTrace.
+	// WithTrace, WithPowerModel.
 	Option = workload.Option
 	// Reseeder is implemented by workloads whose inputs derive from a
 	// seed; WithSeed requires it.
