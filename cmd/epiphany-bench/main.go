@@ -25,6 +25,7 @@ import (
 
 	"epiphany"
 	"epiphany/internal/bench"
+	"epiphany/internal/names"
 )
 
 func main() {
@@ -53,7 +54,9 @@ func main() {
 	if *powerModel != "" {
 		m, ok := epiphany.PowerModelByName(*powerModel)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown power model %q (have %v)\n", *powerModel, epiphany.PowerModels())
+			// Same suggestion-bearing message the library (and the serve
+			// daemon's 400s) produce for the typo.
+			fmt.Fprintln(os.Stderr, names.Unknown("power model", *powerModel, epiphany.PowerModels()))
 			os.Exit(1)
 		}
 		if _, err := m.Point(*dvfs); err != nil {
@@ -131,7 +134,11 @@ func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 			name = strings.TrimSpace(name)
 			w, ok := epiphany.WorkloadByName(name)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", name)
+				var registered []string
+				for _, rw := range epiphany.Workloads() {
+					registered = append(registered, rw.Name())
+				}
+				fmt.Fprintln(os.Stderr, names.Unknown("workload", name, registered))
 				os.Exit(1)
 			}
 			ws = append(ws, w)
@@ -141,7 +148,11 @@ func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 	if topoName != "" {
 		topo, ok := epiphany.TopologyByName(topoName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown topology %q (try -list)\n", topoName)
+			var presets []string
+			for _, t := range epiphany.Topologies() {
+				presets = append(presets, t.Name)
+			}
+			fmt.Fprintln(os.Stderr, names.Unknown("topology", topoName, presets))
 			os.Exit(1)
 		}
 		runner.Options = []epiphany.Option{epiphany.WithTopology(topo)}

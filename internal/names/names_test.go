@@ -1,0 +1,101 @@
+package names
+
+import (
+	"strings"
+	"testing"
+)
+
+var registry = []string{
+	"matmul-cannon", "matmul-offchip", "stencil-tuned", "stencil-naive",
+	"stream-stencil", "e16", "e64", "cluster-2x2",
+}
+
+func TestSuggest(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // nil = no suggestion; checked as exact slice
+	}{
+		// One-letter typos.
+		{"e63", []string{"e64", "e16"}},
+		{"matmul-canon", []string{"matmul-cannon"}},
+		{"stencil-tund", []string{"stencil-tuned"}},
+		// Case-insensitive exact match collapses to the single certain
+		// suggestion.
+		{"E64", []string{"e64"}},
+		{"Matmul-Cannon", []string{"matmul-cannon"}},
+		// Prefixes of registered names (truncated spellings).
+		{"matmul", []string{"matmul-cannon", "matmul-offchip"}},
+		{"stencil", []string{"stencil-naive", "stencil-tuned"}},
+		// Nothing plausible.
+		{"zzzzzz", nil},
+		{"", nil},
+	}
+	for _, tc := range cases {
+		got := Suggest(tc.in, registry)
+		if len(got) != len(tc.want) {
+			t.Errorf("Suggest(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Suggest(%q) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSuggestBounded(t *testing.T) {
+	// Even with many near candidates, at most three are suggested.
+	cands := []string{"job1", "job2", "job3", "job4", "job5"}
+	if got := Suggest("job", cands); len(got) > 3 {
+		t.Errorf("Suggest returned %d suggestions, want <= 3: %v", len(got), got)
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	err := Unknown("workload", "matmul-canon", registry)
+	for _, want := range []string{
+		`unknown workload "matmul-canon"`,
+		`did you mean "matmul-cannon"?`,
+		"registered: matmul-cannon",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Unknown() = %q, missing %q", err, want)
+		}
+	}
+
+	// No plausible suggestion: still lists the registry, no guess.
+	err = Unknown("topology preset", "qqq", registry)
+	if strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("Unknown() = %q, suggested for an implausible name", err)
+	}
+	if !strings.Contains(err.Error(), `unknown topology preset "qqq" (registered:`) {
+		t.Errorf("Unknown() = %q, missing the registry listing", err)
+	}
+
+	// Multiple suggestions render as a quoted or-list.
+	err = Unknown("workload", "stencil", registry)
+	if !strings.Contains(err.Error(), `"stencil-naive" or "stencil-tuned"`) {
+		t.Errorf("Unknown() = %q, want a quoted or-list", err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"e64", "e64", 0},
+		{"e64", "e16", 2},
+	}
+	for _, tc := range cases {
+		if got := levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

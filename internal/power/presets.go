@@ -1,8 +1,9 @@
 package power
 
 import (
-	"fmt"
 	"sort"
+
+	"epiphany/internal/names"
 )
 
 // The preset models. EpiphanyIV28nm is the calibrated reference point:
@@ -97,7 +98,7 @@ func Models() []string {
 func ResolveModel(name string) (*Model, error) {
 	m, ok := ModelByName(name)
 	if !ok {
-		return nil, fmt.Errorf("epiphany: unknown power model %q (have %v)", name, Models())
+		return nil, names.Unknown("power model", name, Models())
 	}
 	return m, nil
 }

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchSubmit drives one POST /v1/jobs through the in-process handler -
+// no sockets, so the numbers isolate the service layer (decode,
+// normalize, fingerprint, cache, encode) from the network.
+func benchSubmit(b *testing.B, s *Server, body []byte, wantCache string) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Epiphany-Cache"); got != wantCache {
+		b.Fatalf("cache status %q, want %q", got, wantCache)
+	}
+}
+
+func marshalSpec(b *testing.B, spec JobSpec) []byte {
+	b.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// BenchmarkServeCacheHit measures a fully warm request: every
+// iteration re-submits the same job and must be served from the cache.
+// This is the daemon's raison d'etre - compare with
+// BenchmarkServeCacheMiss to see the leverage.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s, err := NewServer(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := marshalSpec(b, JobSpec{Workload: "stencil-tuned", Topo: "e16"})
+	benchSubmit(b, s, body, "miss") // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSubmit(b, s, body, "hit")
+	}
+}
+
+// BenchmarkServeCacheMiss measures a cold request: every iteration
+// submits a job the cache has never seen (the seed axis makes each
+// spec a distinct content address), so each one pays for a full e16
+// stencil simulation.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	s, err := NewServer(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i + 1)
+		benchSubmit(b, s, marshalSpec(b, JobSpec{Workload: "stencil-tuned", Topo: "e16", Seed: &seed}), "miss")
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"epiphany/internal/sweep"
+)
+
+// entry is one cached simulation: the cell spec it answers, the power
+// model it was metered under, the deterministic result, and the host
+// wall time the original simulation cost (what a cache hit saves; it
+// feeds the /v1/stats simulated-vs-served accounting, never a response
+// body - response bytes must be identical between the miss that filled
+// the entry and every hit that serves it).
+type entry struct {
+	Cell   sweep.Cell       `json:"cell"`
+	Power  string           `json:"power,omitempty"`
+	Result sweep.CellResult `json:"result"`
+	SimNS  int64            `json:"sim_ns"`
+}
+
+// resultCache is the content-addressed result store: cell fingerprint
+// (sweep.Plan.CellFingerprint) -> entry. Because every simulation is a
+// pure function of its canonical spec, the cache is exact - a hit is
+// byte-for-byte the result the simulation would produce - so the only
+// policy it needs is capacity: an LRU bound on the in-memory entries,
+// plus optional write-through persistence to a directory (one JSON
+// file per fingerprint) so a restarted daemon keeps its corpus warm.
+// Only successful cells are stored; failures stay uncached so a
+// transient error is retried rather than replayed.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string     // "" = memory only
+	order *list.List // front = most recently used; values are *cacheNode
+	items map[string]*list.Element
+}
+
+// cacheNode is what order's elements hold.
+type cacheNode struct {
+	id string
+	e  entry
+}
+
+func newResultCache(maxEntries int, dir string) (*resultCache, error) {
+	c := &resultCache{
+		max:   maxEntries,
+		dir:   dir,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// get returns the entry stored under id. A memory miss falls through
+// to the persistence directory; a disk entry found there is promoted
+// into the in-memory LRU. The returned entry is a copy - callers
+// derive scaling columns on their copies without disturbing the store.
+func (c *resultCache) get(id string) (entry, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[id]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheNode).e
+		c.mu.Unlock()
+		return e, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return entry{}, false
+	}
+	b, err := os.ReadFile(c.file(id))
+	if err != nil {
+		return entry{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		// A torn or foreign file is a miss, not a failure: the
+		// simulation re-derives the truth and put rewrites the file.
+		return entry{}, false
+	}
+	c.install(id, e)
+	return e, true
+}
+
+// put stores a successful simulation under its fingerprint, evicting
+// least-recently-used entries past the memory bound and writing
+// through to the persistence directory when one is configured.
+func (c *resultCache) put(id string, e entry) {
+	c.install(id, e)
+	if c.dir != "" {
+		c.persist(id, e)
+	}
+}
+
+// install inserts (or refreshes) the in-memory entry and applies the
+// LRU bound.
+func (c *resultCache) install(id string, e entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		el.Value.(*cacheNode).e = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[id] = c.order.PushFront(&cacheNode{id: id, e: e})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheNode).id)
+	}
+}
+
+// persist writes the entry's JSON under its fingerprint, via a
+// same-directory temp file + rename so a crash mid-write leaves either
+// the old file or the new one, never a torn read for a concurrent get.
+// Persistence is best-effort: a full disk degrades the daemon to a
+// memory-only cache instead of failing requests.
+func (c *resultCache) persist(id string, e entry) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+id+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.file(id)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// file maps a fingerprint to its persistence path. Fingerprints are
+// lowercase hex, but guard against path metacharacters anyway: a
+// malformed id becomes a harmless flat name.
+func (c *resultCache) file(id string) string {
+	id = strings.Map(func(r rune) rune {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f':
+			return r
+		}
+		return '_'
+	}, id)
+	return filepath.Join(c.dir, id+".json")
+}
+
+// len reports the in-memory entry count (for /v1/stats).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// planCache remembers normalized sweep plans by their plan fingerprint
+// so GET /v1/sweeps/{id} can re-render a previously submitted sweep
+// (cheaply: its cells are in the result cache). Same LRU shape as
+// resultCache, memory only - a plan is a few hundred bytes of spec,
+// not a result.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List
+	items map[string]*list.Element
+}
+
+type planNode struct {
+	id   string
+	plan sweep.Plan
+}
+
+func newPlanCache(maxEntries int) *planCache {
+	return &planCache{max: maxEntries, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(id string) (sweep.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[id]
+	if !ok {
+		return sweep.Plan{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*planNode).plan, true
+}
+
+func (c *planCache) put(id string, p sweep.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		el.Value.(*planNode).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[id] = c.order.PushFront(&planNode{id: id, plan: p})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*planNode).id)
+	}
+}

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// The content addresses of the sweep domain. Every simulation is a pure
+// function of its canonical spec - workload x topology x c2c timing x
+// power model x DVFS point x seed - pinned bit-for-bit by the
+// conformance and sweep goldens. That purity is what makes a result
+// cache keyed by these digests *exact*: two specs with equal
+// fingerprints produce byte-identical results, so a cached cell can be
+// served in place of a ~35 ms simulation with no approximation at all.
+// The epiphany-serve daemon builds its content-addressed cache on
+// CellFingerprint and names whole sweeps by Fingerprint.
+
+// Fingerprint returns the plan's content address: the lowercase-hex
+// SHA-256 digest of the canonical (normalized) plan rendered as JSON.
+// Normalization is what makes the digest an identity of the experiment
+// rather than of its spelling: permuting the values inside any axis,
+// duplicating entries, or leaving defaulted fields implicit all hash
+// identically, while changing any axis value - a workload, a topology
+// or its c2c override, the power model, a DVFS point, a seed, the
+// baseline - yields a different digest. The error is Normalize's
+// (unknown names, invalid geometry).
+func (p Plan) Fingerprint() (string, error) {
+	n, err := p.Normalize()
+	if err != nil {
+		return "", err
+	}
+	return fingerprintJSON(n), nil
+}
+
+// CellFingerprint returns the content address of one expanded cell
+// under the plan's power model: the lowercase-hex SHA-256 digest over
+// (power model, workload, topology, DVFS point, seed). The plan's
+// other axes do not participate - a cell's raw metrics are independent
+// of what else the grid contained and of the baseline it is later
+// compared against - so the same cell reached from different plans
+// shares one address, which is what lets a result cache deduplicate
+// across overlapping sweeps. Call it on a normalized plan's expanded
+// cells (Normalize canonicalizes the DVFS labels and topology set that
+// make the address stable).
+func (p Plan) CellFingerprint(c Cell) string {
+	return fingerprintJSON(struct {
+		Power string `json:"power,omitempty"`
+		Cell  Cell   `json:"cell"`
+	}{p.Power, c})
+}
+
+// fingerprintJSON hashes v's JSON rendering. Marshalling the plan and
+// cell types cannot fail (plain strings, integers and structs all the
+// way down), and struct-field order makes the rendering deterministic.
+func fingerprintJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("epiphany: fingerprint marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"epiphany/internal/names"
 	"epiphany/internal/tabular"
 	"epiphany/internal/workload"
 )
@@ -68,23 +69,10 @@ func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
 	jobs := make([]workload.Job, len(cells))
 	cores := make([]int, len(cells))
 	for i, c := range cells {
-		w, ok := workload.ByName(c.Workload)
-		if !ok {
-			return nil, fmt.Errorf("epiphany: workload %q not registered", c.Workload)
-		}
-		st, err := c.Topo.Resolve()
+		jobs[i], cores[i], err = p.CellJob(c)
 		if err != nil {
 			return nil, err
 		}
-		cores[i] = workload.UsedCores(w, st.Rows(), st.Cols())
-		opts := []workload.Option{workload.WithTopology(st)}
-		if p.Power != "" {
-			opts = append(opts, workload.WithPowerModel(p.Power, c.DVFS))
-		}
-		if c.Seed != nil {
-			opts = append(opts, workload.WithSeed(*c.Seed))
-		}
-		jobs[i] = workload.Job{Workload: w, Options: opts}
 	}
 	r := &workload.Runner{Workers: workers}
 	br, err := r.RunBatch(ctx, jobs)
@@ -93,38 +81,69 @@ func Run(ctx context.Context, p Plan, workers int) (*Result, error) {
 	}
 	res := &Result{Plan: p, Cells: make([]CellResult, len(cells))}
 	for i, c := range cells {
-		cr := CellResult{
-			Workload: c.Workload,
-			Topology: c.Topo.Key(),
-			DVFS:     c.DVFS,
-			Seed:     c.Seed,
-			Cores:    cores[i],
-		}
-		if jr := br.Results[i]; jr.Err != nil {
-			cr.Err = jr.Err.Error()
-		} else {
-			cr.Metrics = jr.Result.Metrics()
-			if cr.Metrics.Elapsed > 0 {
-				cr.CrossShare = float64(cr.Metrics.ELinkCrossTime) / float64(cr.Metrics.Elapsed)
-			}
-		}
-		res.Cells[i] = cr
+		res.Cells[i] = NewCellResult(c, cores[i], br.Results[i])
 	}
-	res.derive()
+	res.Derive()
 	return res, nil
 }
 
-// derive fills the speedup, efficiency and relative-energy columns from
+// CellJob translates one expanded cell of a normalized plan into the
+// workload.Job the Runner executes, also reporting how many cores the
+// cell's topology-fitted workgroup occupies (the efficiency
+// denominator). It is the per-cell half of Run, exported so callers
+// that schedule cells individually - the epiphany-serve daemon runs
+// each cell through its result cache - build byte-identical jobs.
+func (p Plan) CellJob(c Cell) (workload.Job, int, error) {
+	w, ok := workload.ByName(c.Workload)
+	if !ok {
+		return workload.Job{}, 0, names.Unknown("workload", c.Workload, registeredWorkloads())
+	}
+	st, err := c.Topo.Resolve()
+	if err != nil {
+		return workload.Job{}, 0, err
+	}
+	cores := workload.UsedCores(w, st.Rows(), st.Cols())
+	opts := []workload.Option{workload.WithTopology(st)}
+	if p.Power != "" {
+		opts = append(opts, workload.WithPowerModel(p.Power, c.DVFS))
+	}
+	if c.Seed != nil {
+		opts = append(opts, workload.WithSeed(*c.Seed))
+	}
+	return workload.Job{Workload: w, Options: opts}, cores, nil
+}
+
+// NewCellResult converts one executed job back into its cell's result
+// row: raw metrics and crossing share only - the derived scaling
+// columns (speedup, efficiency, relative energy) belong to a grid, not
+// a cell, and are filled by Derive/DeriveCell against a baseline.
+func NewCellResult(c Cell, cores int, jr workload.JobResult) CellResult {
+	cr := CellResult{
+		Workload: c.Workload,
+		Topology: c.Topo.Key(),
+		DVFS:     c.DVFS,
+		Seed:     c.Seed,
+		Cores:    cores,
+	}
+	if jr.Err != nil {
+		cr.Err = jr.Err.Error()
+	} else {
+		cr.Metrics = jr.Result.Metrics()
+		if cr.Metrics.Elapsed > 0 {
+			cr.CrossShare = float64(cr.Metrics.ELinkCrossTime) / float64(cr.Metrics.Elapsed)
+		}
+	}
+	return cr
+}
+
+// Derive fills the speedup, efficiency and relative-energy columns from
 // the baseline cells: the baseline for cell (w, topo, dvfs, seed) is
 // (w, p.Baseline, dvfs, seed) - scaling is always compared at the same
 // operating point, so the DVFS axis reads as frequency scaling and the
-// topology axis as strong scaling.
-func (r *Result) derive() {
-	type baseKey struct {
-		workload string
-		dvfs     string
-		seed     string
-	}
+// topology axis as strong scaling. Run calls it on every executed grid;
+// it is exported for callers that assemble a Result from individually
+// executed (or cached) cells.
+func (r *Result) Derive() {
 	base := make(map[baseKey]*CellResult)
 	for i := range r.Cells {
 		c := &r.Cells[i]
@@ -134,21 +153,40 @@ func (r *Result) derive() {
 	}
 	for i := range r.Cells {
 		c := &r.Cells[i]
-		if c.Err != "" {
-			continue
-		}
-		b, ok := base[baseKey{c.Workload, c.DVFS, seedLabel(c.Seed)}]
-		if !ok || c.Metrics.Elapsed == 0 || b.Cores == 0 || c.Cores == 0 {
-			continue
-		}
-		c.Speedup = float64(b.Metrics.Elapsed) / float64(c.Metrics.Elapsed)
-		c.Efficiency = c.Speedup * float64(b.Cores) / float64(c.Cores)
-		if b.Metrics.EnergyJ > 0 {
-			c.EnergyRel = c.Metrics.EnergyJ / b.Metrics.EnergyJ
-		}
-		if b.Metrics.EDPJs > 0 {
-			c.EDPRel = c.Metrics.EDPJs / b.Metrics.EDPJs
-		}
+		DeriveCell(c, base[baseKey{c.Workload, c.DVFS, seedLabel(c.Seed)}])
+	}
+}
+
+// baseKey identifies a cell's baseline: same workload, operating point
+// and seed on the plan's baseline topology.
+type baseKey struct {
+	workload string
+	dvfs     string
+	seed     string
+}
+
+// DeriveCell fills c's derived scaling columns against its baseline
+// cell b - the same workload, DVFS point and seed on the plan's
+// baseline topology (c itself for baseline cells, where all ratios are
+// exactly 1). A nil or failed baseline, a failed cell, or degenerate
+// core/time counts leave the columns zero, exactly as Derive does
+// grid-wide; the cell-at-a-time form exists so the epiphany-serve
+// daemon can stream derived rows as cells complete, with values
+// byte-identical to a whole-grid Derive.
+func DeriveCell(c, b *CellResult) {
+	if c.Err != "" || b == nil || b.Err != "" {
+		return
+	}
+	if c.Metrics.Elapsed == 0 || b.Cores == 0 || c.Cores == 0 {
+		return
+	}
+	c.Speedup = float64(b.Metrics.Elapsed) / float64(c.Metrics.Elapsed)
+	c.Efficiency = c.Speedup * float64(b.Cores) / float64(c.Cores)
+	if b.Metrics.EnergyJ > 0 {
+		c.EnergyRel = c.Metrics.EnergyJ / b.Metrics.EnergyJ
+	}
+	if b.Metrics.EDPJs > 0 {
+		c.EDPRel = c.Metrics.EDPJs / b.Metrics.EDPJs
 	}
 }
 

@@ -22,11 +22,32 @@ import (
 	"strconv"
 	"strings"
 
+	"epiphany/internal/names"
 	"epiphany/internal/power"
 	"epiphany/internal/sim"
 	"epiphany/internal/system"
 	"epiphany/internal/workload"
 )
+
+// registeredWorkloads lists the registry's names for error suggestions.
+func registeredWorkloads() []string {
+	ws := workload.All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// presetNames lists the topology presets for error suggestions.
+func presetNames() []string {
+	ts := system.Topologies()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
 
 // Topo is one value of the topology axis: a preset board by name, or an
 // ad-hoc rows x cols single-chip mesh, optionally with the chip-to-chip
@@ -72,7 +93,9 @@ func (t Topo) Resolve() (system.Topology, error) {
 	if t.Preset != "" {
 		preset, ok := system.TopologyByName(t.Preset)
 		if !ok {
-			return st, fmt.Errorf("epiphany: unknown topology preset %q", t.Preset)
+			// "4x8"-style ad-hoc meshes are also accepted where presets
+			// are; suggest the nearest preset for what looks like a typo.
+			return st, names.Unknown("topology preset", t.Preset, presetNames())
 		}
 		st = preset
 	} else {
@@ -190,7 +213,7 @@ func (p Plan) Normalize() (Plan, error) {
 		p.Workloads = dedupe(p.Workloads)
 		for _, name := range p.Workloads {
 			if _, ok := workload.ByName(name); !ok {
-				return p, fmt.Errorf("epiphany: workload %q not registered", name)
+				return p, names.Unknown("workload", name, registeredWorkloads())
 			}
 		}
 	}

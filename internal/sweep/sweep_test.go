@@ -125,7 +125,7 @@ func TestDeriveColumns(t *testing.T) {
 			mk("c", "cluster-2x2", nil, 16, 800, 0, ""), // 2x slower on 4x cores
 		},
 	}
-	r.derive()
+	r.Derive()
 	want := []struct{ speedup, eff float64 }{
 		{1, 1},
 		{4, 1},

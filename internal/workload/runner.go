@@ -68,6 +68,13 @@ type Runner struct {
 	Workers int
 	// Options are applied to every job, before the job's own options.
 	Options []Option
+
+	// idle recycles boards across RunJob calls, so a long-lived caller
+	// (the epiphany-serve daemon) gets the same board-pooling win
+	// RunBatch gives its batch workers. Guarded by idleMu; RunBatch does
+	// not touch it (its pools are per-worker and unsynchronized).
+	idleMu sync.Mutex
+	idle   []*sysPool
 }
 
 // RunBatch executes jobs across the worker pool and returns the
@@ -127,6 +134,52 @@ feed:
 func safeName(w Workload) (name string) {
 	defer func() { _ = recover() }()
 	return w.Name()
+}
+
+// RunJob executes one job outside a batch. Unlike a one-job RunBatch,
+// consecutive calls recycle simulated boards through a shared idle
+// pool (each concurrent call checks out its own pool, so RunJob is
+// safe for concurrent use and two in-flight jobs never share a
+// System): a long-lived daemon submitting jobs one at a time keeps the
+// construction-amortizing behaviour of a batch. The result is
+// bit-identical to Run or RunBatch on the same job - recycled boards
+// are certified pristine by System.Reset before reuse.
+func (r *Runner) RunJob(ctx context.Context, job Job) JobResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool := r.checkout()
+	jr := r.runJob(ctx, job, pool)
+	r.checkin(pool)
+	return jr
+}
+
+// checkout takes an idle board pool for one RunJob, or a fresh empty
+// one when all are busy (or none exist yet).
+func (r *Runner) checkout() *sysPool {
+	r.idleMu.Lock()
+	defer r.idleMu.Unlock()
+	if n := len(r.idle); n > 0 {
+		p := r.idle[n-1]
+		r.idle[n-1] = nil
+		r.idle = r.idle[:n-1]
+		return p
+	}
+	return new(sysPool)
+}
+
+// checkin returns a pool after its job, keeping at most one idle pool
+// per worker slot - beyond that the boards would only hold memory.
+func (r *Runner) checkin(p *sysPool) {
+	limit := r.Workers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	r.idleMu.Lock()
+	defer r.idleMu.Unlock()
+	if len(r.idle) < limit {
+		r.idle = append(r.idle, p)
+	}
 }
 
 // RunWorkloads is RunBatch over bare workloads with no per-job options.

@@ -1,0 +1,38 @@
+package epiphany
+
+import (
+	"epiphany/internal/serve"
+)
+
+// The simulation-as-a-service API. A Server is an http.Handler that
+// exposes jobs, sweeps, registry listings and service stats as a
+// REST/JSON surface over the deterministic simulator, fronted by a
+// content-addressed result cache: because every simulation is a pure
+// function of its canonical spec, a result computed once is the result
+// forever, and a repeated job or sweep cell costs a lookup instead of a
+// simulation. The epiphany-serve command is a thin flag-and-signals
+// wrapper around this API; embed the handler directly to mount the
+// service inside a larger process.
+type (
+	// Server is the simulation service handler; create with NewServer.
+	Server = serve.Server
+	// ServerConfig tunes the service: worker and queue bounds, cache
+	// capacity, optional on-disk cache persistence, request budget. The
+	// zero value is usable.
+	ServerConfig = serve.Config
+	// ServerStats is the /v1/stats payload: cache hit/miss counts,
+	// queue occupancy, in-flight simulations, and cumulative
+	// simulated-vs-cache-served wall time.
+	ServerStats = serve.Stats
+	// ServeJobSpec is the POST /v1/jobs body: one experiment cell
+	// spelled the way the CLIs spell it.
+	ServeJobSpec = serve.JobSpec
+	// ServeJobResponse is the job endpoints' body; cache hits return it
+	// byte-identical to the miss that populated the cache.
+	ServeJobResponse = serve.JobResponse
+)
+
+// NewServer builds a simulation service with the given configuration.
+// The error is the cache persistence directory's, when one is
+// configured and cannot be created.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }

@@ -1,0 +1,97 @@
+package epiphany_test
+
+// The service acceptance harness: a sweep executed through the HTTP
+// surface must render exactly the bytes the in-process Sweep API
+// produces - pinned, like Sweep itself, against the golden CSV - and a
+// cache hit must be byte-identical to the miss that populated it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"epiphany"
+)
+
+func serveRequest(t *testing.T, s *epiphany.Server, method, target string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf []byte
+	if body != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(method, target, bytes.NewReader(buf)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("%s %s: status %d, body %s", method, target, w.Code, w.Body.String())
+	}
+	return w
+}
+
+// TestServeSweepMatchesGolden: the default sweep requested over the
+// service API is byte-for-byte the pinned golden CSV - the service
+// layer (queue, cache, rendering) adds nothing and loses nothing.
+func TestServeSweepMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/sweep_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := epiphany.NewServer(epiphany.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := serveRequest(t, s, "POST", "/v1/sweeps?format=csv", epiphany.SweepPlan{})
+	if cold.Body.String() != string(want) {
+		t.Errorf("service sweep CSV drifted from testdata/sweep_golden.csv:\n%s", cold.Body.String())
+	}
+	// Warm pass: every cell from cache, same bytes.
+	warm := serveRequest(t, s, "POST", "/v1/sweeps?format=csv", epiphany.SweepPlan{})
+	if !bytes.Equal(warm.Body.Bytes(), cold.Body.Bytes()) {
+		t.Error("cache-served sweep differs from the simulated one")
+	}
+	st := s.Stats()
+	cells := int64(len(epiphany.Workloads()) * len(epiphany.Topologies()))
+	if st.CacheMisses != cells {
+		t.Errorf("cache misses %d, want %d (one per cell, cold pass only)", st.CacheMisses, cells)
+	}
+	if st.CacheHits != cells {
+		t.Errorf("cache hits %d, want %d (every warm-pass cell)", st.CacheHits, cells)
+	}
+}
+
+// TestServeJobHitMissIdentityPublic exercises the public aliases
+// end to end: submit, re-submit, compare bytes, check stats.
+func TestServeJobHitMissIdentityPublic(t *testing.T) {
+	s, err := epiphany.NewServer(epiphany.ServerConfig{CacheEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := epiphany.ServeJobSpec{Workload: "stencil-tuned", Topo: "e16"}
+	miss := serveRequest(t, s, "POST", "/v1/jobs", spec)
+	hit := serveRequest(t, s, "POST", "/v1/jobs", spec)
+	if !bytes.Equal(miss.Body.Bytes(), hit.Body.Bytes()) {
+		t.Error("cache hit body differs from the miss body")
+	}
+	if miss.Header().Get("X-Epiphany-Cache") != "miss" || hit.Header().Get("X-Epiphany-Cache") != "hit" {
+		t.Errorf("cache headers %q then %q, want miss then hit",
+			miss.Header().Get("X-Epiphany-Cache"), hit.Header().Get("X-Epiphany-Cache"))
+	}
+
+	var resp epiphany.ServeJobResponse
+	if err := json.Unmarshal(hit.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == "" || resp.Result.Err != "" || resp.Result.Metrics.Elapsed == 0 {
+		t.Errorf("job response %+v", resp)
+	}
+
+	var st epiphany.ServerStats = s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
