@@ -48,6 +48,19 @@ func TestAPISmokeWorkloadFile(t *testing.T) {
 		t.Fatal("preset topology vars misshapen")
 	}
 
+	// The topology grammar: preset names parse to the preset values, and
+	// grid specs reach geometries no preset names.
+	if topo, err := epiphany.ParseTopology("cluster-2x2"); err != nil || topo != epiphany.TopologyCluster2x2 {
+		t.Fatalf("ParseTopology(cluster-2x2) = %v, %v", topo, err)
+	}
+	big, err := epiphany.ParseTopology("grid=4x4/chip=8x8")
+	if err != nil || big.NumCores() != 1024 {
+		t.Fatalf("ParseTopology(grid=4x4/chip=8x8) = %v, %v", big, err)
+	}
+	if _, err := epiphany.ParseTopology("grid=8x8/chip=8x8"); err == nil {
+		t.Error("ParseTopology accepted a board beyond the 64x64 mesh ceiling")
+	}
+
 	// Run with every option; Reseeder and TopologyFitter are what make
 	// WithSeed/WithTopology legal on the built-ins.
 	st, _ := epiphany.WorkloadByName("stencil-tuned")
@@ -237,6 +250,24 @@ func TestAPISmokeSweepFile(t *testing.T) {
 	var cell epiphany.SweepCell = normalized.Expand()[0]
 	if id := normalized.CellFingerprint(cell); len(id) != 64 {
 		t.Fatalf("CellFingerprint %q", id)
+	}
+
+	// The named-plan registry and the standing scaling study.
+	plans := epiphany.SweepPlans()
+	if len(plans) == 0 {
+		t.Fatal("no registered sweep plans")
+	}
+	var np epiphany.NamedSweepPlan
+	np, ok := epiphany.SweepPlanByName("scaling-1024")
+	if !ok || np.Name != "scaling-1024" {
+		t.Fatalf("SweepPlanByName(scaling-1024) = %+v, %v", np, ok)
+	}
+	if _, err := epiphany.ResolveSweepPlan("scaling-124"); err == nil {
+		t.Error("ResolveSweepPlan accepted a misspelled plan name")
+	}
+	study := epiphany.ScalingStudyPlan()
+	if len(study.Topos) != 5 || study.Baseline != "e16" {
+		t.Fatalf("ScalingStudyPlan shape: %+v", study)
 	}
 
 	var res *epiphany.SweepResult

@@ -36,7 +36,7 @@ func main() {
 	extras := flag.Bool("extras", false, "also run the extension and ablation studies")
 	workloads := flag.String("workloads", "", `batch-run registered workloads: "all" or a comma-separated name list`)
 	jobs := flag.Int("j", 0, "concurrent workers for -workloads (0 = GOMAXPROCS)")
-	topo := flag.String("topo", "", `fabric topology for -workloads: "e16", "e64" (default) or "cluster-2x2"`)
+	topo := flag.String("topo", "", `fabric topology for -workloads: a preset ("e16", "e64", "cluster-2x2"), a mesh ("4x8") or a chip grid ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), optionally with "/c2c=BYTE:HOP"`)
 	powerModel := flag.String("power", "", `power-model preset for -workloads energy columns (e.g. "epiphany-iv-28nm"; defaults to it when -dvfs is given)`)
 	dvfs := flag.String("dvfs", "", `DVFS operating point for -workloads, "FREQ[MHz]@VOLT[V]" (requires/implies -power)`)
 	flag.Parse()
@@ -146,13 +146,9 @@ func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 	}
 	runner := &epiphany.Runner{Workers: workers}
 	if topoName != "" {
-		topo, ok := epiphany.TopologyByName(topoName)
-		if !ok {
-			var presets []string
-			for _, t := range epiphany.Topologies() {
-				presets = append(presets, t.Name)
-			}
-			fmt.Fprintln(os.Stderr, names.Unknown("topology", topoName, presets))
+		topo, err := epiphany.ParseTopology(topoName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		runner.Options = []epiphany.Option{epiphany.WithTopology(topo)}

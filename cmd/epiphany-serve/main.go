@@ -8,8 +8,11 @@
 //	curl -s localhost:8080/v1/workloads
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	    -d '{"workload":"stencil-tuned","topo":"e64"}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"workload":"stencil-tuned","topo":"grid=4x4/chip=8x8"}'
 //	curl -s -X POST 'localhost:8080/v1/sweeps?format=ndjson' \
-//	    -d '{"workloads":["stencil-tuned"],"topos":[{"preset":"e16"},{"preset":"e64"}]}'
+//	    -d '{"workloads":["stencil-tuned"],"topos":[{"preset":"e16"},{"spec":"grid=2x2/chip=8x8"}]}'
+//	curl -s localhost:8080/v1/plans
 //	curl -s localhost:8080/v1/stats
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503 (and

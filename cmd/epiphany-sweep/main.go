@@ -11,14 +11,16 @@
 // Usage:
 //
 //	epiphany-sweep                              # all workloads x {e16, e64, cluster-2x2}
-//	epiphany-sweep -list                        # list workloads and topology presets
+//	epiphany-sweep -list                        # list workloads, topology presets, plans
 //	epiphany-sweep -workloads stencil-tuned,matmul-offchip -topos e64,cluster-2x2
 //	epiphany-sweep -topos e16,4x8,e64           # ad-hoc single-chip meshes mix in
+//	epiphany-sweep -topos e64,grid=4x4/chip=8x8 # parameterized chip grids (1024 cores)
 //	epiphany-sweep -topos cluster-2x2,cluster-2x2/c2c=40:600   # sweep the c2c link speed
 //	epiphany-sweep -seeds 1,2,3 -baseline e64   # seed axis, speedup vs the e64 cells
 //	epiphany-sweep -format csv -o sweep.csv     # machine-grade golden output
 //	epiphany-sweep -power epiphany-iv-28nm      # energy columns on every cell
 //	epiphany-sweep -dvfs 300MHz@0.8V,600MHz@1.0V,800MHz@1.2V   # frequency-scaling axis
+//	epiphany-sweep -plan scaling-1024           # registered plan: the 1024-core scaling study
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	workloads := flag.String("workloads", "all", `workloads to sweep: "all" or a comma-separated name list`)
-	topos := flag.String("topos", "", `topology axis: comma-separated presets ("e16"), meshes ("4x8"), optional "/c2c=BYTE:HOP" overrides; empty = all presets`)
+	topos := flag.String("topos", "", `topology axis: comma-separated presets ("e16"), meshes ("4x8"), chip grids ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), optional "/c2c=BYTE:HOP" overrides; empty = all presets`)
 	seeds := flag.String("seeds", "", "seed axis: comma-separated uint64s; empty = each workload's default seed")
 	baseline := flag.String("baseline", "", "topology key the speedup/efficiency columns compare against (default: smallest on the axis)")
 	powerModel := flag.String("power", "", `power-model preset for energy columns (e.g. "epiphany-iv-28nm"); empty = no energy accounting (defaults to epiphany-iv-28nm when -dvfs is given)`)
@@ -42,7 +44,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS); never affects the output bytes")
 	format := flag.String("format", "text", "output format: text, markdown, csv or json")
 	out := flag.String("o", "", "write output to this file instead of stdout")
-	list := flag.Bool("list", false, "list registered workloads and topology presets")
+	planName := flag.String("plan", "", `registered plan to run (e.g. "scaling-1024"); the axis flags override its fields`)
+	list := flag.Bool("list", false, "list registered workloads, topology presets and plans")
 	flag.Parse()
 
 	if *list {
@@ -50,7 +53,7 @@ func main() {
 		for _, w := range epiphany.Workloads() {
 			fmt.Printf("  %s\n", w.Name())
 		}
-		fmt.Println("topology presets (ad-hoc meshes like 4x8 and /c2c=BYTE:HOP overrides also accepted):")
+		fmt.Println("topology presets (the grammar also accepts ad-hoc meshes like 4x8, chip grids like grid=4x4/chip=8x8, cluster-4x4 or e64x16, and /c2c=BYTE:HOP overrides):")
 		for _, t := range epiphany.Topologies() {
 			fmt.Printf("  %s\n", t)
 		}
@@ -58,6 +61,10 @@ func main() {
 		for _, name := range epiphany.PowerModels() {
 			m, _ := epiphany.PowerModelByName(name)
 			fmt.Printf("  %s: nominal %s, ladder %v\n", name, m.Nominal, m.Points)
+		}
+		fmt.Println("plans (-plan):")
+		for _, p := range epiphany.SweepPlans() {
+			fmt.Printf("  %s: %s\n", p.Name, p.Description)
 		}
 		return
 	}
@@ -67,12 +74,20 @@ func main() {
 	if *dvfs != "" && *powerModel == "" {
 		*powerModel = "epiphany-iv-28nm"
 	}
-	plan, err := buildPlan(*workloads, *topos, *seeds, *baseline)
+	flagPlan, err := buildPlan(*workloads, *topos, *seeds, *baseline)
 	if err != nil {
 		fail(err)
 	}
-	plan.Power = *powerModel
-	plan.DVFS = splitList(*dvfs)
+	flagPlan.Power = *powerModel
+	flagPlan.DVFS = splitList(*dvfs)
+	plan := flagPlan
+	if *planName != "" {
+		named, err := epiphany.ResolveSweepPlan(*planName)
+		if err != nil {
+			fail(err)
+		}
+		plan = overlayPlan(named.Plan, flagPlan)
+	}
 	res, err := epiphany.Sweep(context.Background(), plan, *workers)
 	if err != nil {
 		fail(err)
@@ -111,6 +126,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// overlayPlan starts from a registered plan and overrides whichever
+// axes the flags spelled explicitly, so `-plan scaling-1024 -workloads
+// stencil-tuned` reruns just one workload of the study.
+func overlayPlan(base, flags epiphany.SweepPlan) epiphany.SweepPlan {
+	if len(flags.Workloads) > 0 {
+		base.Workloads = flags.Workloads
+	}
+	if len(flags.Topos) > 0 {
+		base.Topos = flags.Topos
+	}
+	if len(flags.Seeds) > 0 {
+		base.Seeds = flags.Seeds
+	}
+	if flags.Baseline != "" {
+		base.Baseline = flags.Baseline
+	}
+	if flags.Power != "" {
+		base.Power = flags.Power
+	}
+	if len(flags.DVFS) > 0 {
+		base.DVFS = flags.DVFS
+	}
+	return base
 }
 
 // buildPlan translates the comma-separated flags into a SweepPlan.

@@ -64,6 +64,21 @@ func Suggest(name string, candidates []string) []string {
 	return out
 }
 
+// DidYouMean returns the canonical ` (did you mean ...?)` clause for
+// name against the candidates, or "" when nothing is close enough to
+// guess. It exists for errors that cannot use Unknown wholesale - the
+// topology-spec grammar, say, where the candidate list mixes registered
+// presets with example spellings of the grammar and a "registered:"
+// listing would mislead - so that the suggestion itself still reads
+// identically everywhere.
+func DidYouMean(name string, candidates []string) string {
+	s := Suggest(name, candidates)
+	if len(s) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (did you mean %s?)", quoteList(s))
+}
+
 // Unknown builds the canonical unknown-name error: the kind and the
 // offending name, a "did you mean" clause when something registered is
 // close, and the full registered list either way (it is short for every

@@ -16,7 +16,8 @@
 //	POST /v1/sweeps        submit a sweep.Plan; ?format=json|csv|text|markdown|ndjson
 //	GET  /v1/sweeps/{id}   re-render a submitted sweep by plan fingerprint
 //	GET  /v1/workloads     registered workload names
-//	GET  /v1/topologies    preset topologies
+//	GET  /v1/topologies    preset topologies + the chip-grid grammar
+//	GET  /v1/plans         registered sweep plans (POST one to /v1/sweeps)
 //	GET  /v1/powermodels   power-model presets and their DVFS ladders
 //	GET  /v1/stats         cache hit/miss counts, queue depth, in-flight jobs,
 //	                       cumulative simulated-vs-served wall time
@@ -143,8 +144,10 @@ type JobSpec struct {
 	// /v1/workloads).
 	Workload string `json:"workload"`
 	// Topo is the topology spelling sweep.ParseTopo accepts: a preset
-	// ("e64"), an ad-hoc mesh ("4x8"), either with an optional
-	// "/c2c=BYTE:HOP" override. Empty means e64, the library default.
+	// ("e64"), an ad-hoc mesh ("4x8"), a parameterized chip grid
+	// ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), any with an
+	// optional "/c2c=BYTE:HOP" override. Empty means e64, the library
+	// default.
 	Topo string `json:"topo,omitempty"`
 	// Power and DVFS select the energy axis (power-model preset and
 	// operating point); empty runs time-domain only.
@@ -195,6 +198,7 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	s.mux.HandleFunc("GET /v1/powermodels", s.handlePowerModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -624,8 +628,14 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"topologies": infos,
-		"note":       `ad-hoc meshes ("4x8") and c2c overrides ("cluster-2x2/c2c=40:600") are accepted wherever a preset is`,
+		"note":       `the full topology grammar is accepted wherever a preset is: ad-hoc meshes ("4x8"), chip grids ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16") and c2c overrides ("cluster-2x2/c2c=40:600")`,
 	})
+}
+
+// handlePlans lists the registered named sweep plans; POST a listed
+// plan's "plan" object to /v1/sweeps to run it.
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"plans": sweep.Plans()})
 }
 
 func (s *Server) handlePowerModels(w http.ResponseWriter, _ *http.Request) {

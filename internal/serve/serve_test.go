@@ -463,3 +463,88 @@ func TestStatsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestJobGridTopoSpecs: the parameterized topology grammar flows into
+// JobSpec.Topo - grid specs run, canonicalize inside the response
+// cell, and near-miss spellings 400 with the library's "did you mean"
+// suggestion rather than reaching the simulator.
+func TestJobGridTopoSpecs(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	w := do(t, s, "POST", "/v1/jobs", JobSpec{Workload: "stencil-tuned", Topo: "grid=2x2/chip=4x4"})
+	wantStatus(t, w, http.StatusOK)
+	var resp JobResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cell.Topo.Spec != "grid=2x2/chip=4x4" {
+		t.Errorf("cell topo %+v, want the canonical grid spec", resp.Cell.Topo)
+	}
+	// The grammar keeps alias boards distinct, but canonical spelling
+	// means alternate spellings of the same spec share one cache entry.
+	again := do(t, s, "POST", "/v1/jobs", JobSpec{Workload: "stencil-tuned", Topo: "grid=+2x2/chip=4x4"})
+	wantStatus(t, again, http.StatusOK)
+	if got, want := again.Header().Get("X-Epiphany-Cache"), "hit"; got != want {
+		t.Errorf("alternate spelling of the same grid: cache %q, want %q", got, want)
+	}
+
+	for _, tc := range []struct {
+		name string
+		topo string
+		want string
+	}{
+		{"near-miss alias", "cluster4x4", `did you mean \"cluster-4x4\"`},
+		{"near-miss preset", "e65", `did you mean \"e64\"`},
+		{"address-space overflow", "grid=8x8/chip=8x8", "does not fit the 64x64 mesh"},
+		{"zero dims", "grid=0x4/chip=4x4", "invalid topology"},
+		{"malformed chip", "grid=4x4/chip=ax8", "ROWSxCOLS"},
+	} {
+		w := do(t, s, "POST", "/v1/jobs", JobSpec{Workload: "stencil-tuned", Topo: tc.topo})
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, w.Code, w.Body.String())
+			continue
+		}
+		if !strings.Contains(w.Body.String(), tc.want) {
+			t.Errorf("%s: body %q missing %q", tc.name, w.Body.String(), tc.want)
+		}
+	}
+}
+
+// TestSweepSpecAxis: sweep plans spell grid topologies through the
+// "spec" axis field, and a near-miss spec 400s with a suggestion.
+func TestSweepSpecAxis(t *testing.T) {
+	s := newTestServer(t, Config{})
+	plan := sweep.Plan{
+		Workloads: []string{"stencil-tuned"},
+		Topos:     []sweep.Topo{{Preset: "e16"}, {Spec: "grid=2x2/chip=4x4"}},
+	}
+	w := do(t, s, "POST", "/v1/sweeps", plan)
+	wantStatus(t, w, http.StatusOK)
+	if body := w.Body.String(); !strings.Contains(body, `"spec": "grid=2x2/chip=4x4"`) {
+		t.Errorf("sweep response lacks the canonical spec axis value:\n%s", body)
+	}
+
+	bad := sweep.Plan{
+		Workloads: []string{"stencil-tuned"},
+		Topos:     []sweep.Topo{{Spec: "cluster4x4"}},
+	}
+	w = do(t, s, "POST", "/v1/sweeps", bad)
+	wantStatus(t, w, http.StatusBadRequest)
+	if !strings.Contains(w.Body.String(), `did you mean \"cluster-4x4\"`) {
+		t.Errorf("near-miss spec 400 lacks suggestion: %s", w.Body.String())
+	}
+}
+
+// TestPlansListing: /v1/plans lists the registered named plans with
+// their grids, ready to POST to /v1/sweeps.
+func TestPlansListing(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "GET", "/v1/plans", nil)
+	wantStatus(t, w, http.StatusOK)
+	body := w.Body.String()
+	for _, want := range []string{`"scaling-1024"`, `"grid=4x4/chip=8x8"`, `"baseline": "e16"`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/v1/plans missing %s:\n%s", want, body)
+		}
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"slices"
 	"sort"
-	"strconv"
 	"strings"
 
 	"epiphany/internal/names"
@@ -49,17 +48,26 @@ func presetNames() []string {
 	return out
 }
 
-// Topo is one value of the topology axis: a preset board by name, or an
-// ad-hoc rows x cols single-chip mesh, optionally with the chip-to-chip
-// eLink timing overridden (an experiment axis of its own: the same grid
-// run over several C2CBytePeriod values measures how sensitive a
-// workload is to the off-chip link speed).
+// Topo is one value of the topology axis: a preset board by name, a
+// parameterized chip-grid spec, or an ad-hoc rows x cols single-chip
+// mesh, optionally with the chip-to-chip eLink timing overridden (an
+// experiment axis of its own: the same grid run over several
+// C2CBytePeriod values measures how sensitive a workload is to the
+// off-chip link speed).
 type Topo struct {
 	// Preset is a preset topology name ("e16", "e64", "cluster-2x2").
-	// Empty means an ad-hoc MeshRows x MeshCols single-chip device.
 	Preset string `json:"preset,omitempty"`
+	// Spec is a parameterized chip-grid spelling from the topology
+	// grammar ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"; see
+	// system.ParseTopologySpec). Spell c2c overrides in the fields
+	// below, not as a /c2c= suffix inside Spec. Exactly one of Preset,
+	// Spec or the mesh fields identifies the board; Normalize rewrites
+	// Spec into its canonical form (and into Preset or the mesh fields
+	// when the spec names one of those), so equal boards get equal keys
+	// and fingerprints however they were spelled.
+	Spec string `json:"spec,omitempty"`
 	// MeshRows, MeshCols describe the ad-hoc single-chip mesh used when
-	// Preset is empty.
+	// Preset and Spec are empty.
 	MeshRows int `json:"mesh_rows,omitempty"`
 	MeshCols int `json:"mesh_cols,omitempty"`
 	// C2CBytePeriod and C2CHopLatency override the chip-to-chip eLink
@@ -69,14 +77,17 @@ type Topo struct {
 	C2CHopLatency sim.Time `json:"c2c_hop_latency,omitempty"`
 }
 
-// Key returns the canonical cell label of the topology: the preset name
-// or "RxC" for ad-hoc meshes, with a "/c2c=byte:hop" suffix when the
-// link timing is overridden (a zero component means that knob keeps its
-// calibrated default, not that it costs nothing). Keys identify
-// baseline cells and label table rows; two Topos with equal keys are
-// the same axis value.
+// Key returns the canonical cell label of the topology: the preset
+// name, the grid spec, or "RxC" for ad-hoc meshes, with a
+// "/c2c=byte:hop" suffix when the link timing is overridden (a zero
+// component means that knob keeps its calibrated default, not that it
+// costs nothing). Keys identify baseline cells and label table rows;
+// two Topos with equal keys are the same axis value.
 func (t Topo) Key() string {
 	key := t.Preset
+	if key == "" {
+		key = t.Spec
+	}
 	if key == "" {
 		key = fmt.Sprintf("%dx%d", t.MeshRows, t.MeshCols)
 	}
@@ -90,15 +101,27 @@ func (t Topo) Key() string {
 // validating it.
 func (t Topo) Resolve() (system.Topology, error) {
 	var st system.Topology
-	if t.Preset != "" {
+	switch {
+	case t.Preset != "" && t.Spec != "":
+		return st, fmt.Errorf("epiphany: topology axis value names both preset %q and spec %q; pick one", t.Preset, t.Spec)
+	case t.Preset != "":
 		preset, ok := system.TopologyByName(t.Preset)
 		if !ok {
-			// "4x8"-style ad-hoc meshes are also accepted where presets
-			// are; suggest the nearest preset for what looks like a typo.
+			// "4x8"-style ad-hoc meshes and grid specs are also accepted
+			// where presets are; suggest the nearest preset for what
+			// looks like a typo.
 			return st, names.Unknown("topology preset", t.Preset, presetNames())
 		}
 		st = preset
-	} else {
+	case t.Spec != "":
+		if strings.Contains(t.Spec, "/c2c=") {
+			return st, fmt.Errorf("epiphany: topology spec %q: spell c2c overrides in the c2c_byte_period/c2c_hop_latency fields (or as the /c2c= suffix of the combined string spelling), not inside spec", t.Spec)
+		}
+		var err error
+		if st, err = system.ParseTopologySpec(t.Spec); err != nil {
+			return st, err
+		}
+	default:
 		st = system.SingleChip(t.MeshRows, t.MeshCols)
 	}
 	st = st.WithC2C(t.C2CBytePeriod, t.C2CHopLatency)
@@ -108,44 +131,68 @@ func (t Topo) Resolve() (system.Topology, error) {
 	return st, nil
 }
 
-// ParseTopo parses the CLI spelling of a topology axis value: a preset
-// name ("e64"), an ad-hoc mesh ("4x8"), either optionally followed by
-// "/c2c=BYTE:HOP" with the override periods in sim.Time units (for
-// example "cluster-2x2/c2c=40:600").
+// ParseTopo parses the CLI spelling of a topology axis value: anything
+// the topology grammar accepts - a preset name ("e64"), an ad-hoc mesh
+// ("4x8"), a parameterized chip grid ("grid=4x4/chip=8x8",
+// "cluster-4x4", "e64x16") - optionally followed by "/c2c=BYTE:HOP"
+// with the override periods in sim.Time units (for example
+// "cluster-2x2/c2c=40:600"). The result is canonical: however the
+// board was spelled, equal boards parse to equal Topos.
 func ParseTopo(s string) (Topo, error) {
 	var t Topo
 	base, c2c, hasC2C := strings.Cut(s, "/c2c=")
 	if hasC2C {
-		bp, hl, ok := strings.Cut(c2c, ":")
-		if !ok {
-			return t, fmt.Errorf("epiphany: topology %q: c2c override must be BYTE:HOP", s)
-		}
-		b, err := strconv.ParseUint(bp, 10, 32)
+		bp, hl, err := system.ParseC2C(c2c)
 		if err != nil {
-			return t, fmt.Errorf("epiphany: topology %q: bad c2c byte period: %v", s, err)
+			return t, fmt.Errorf("epiphany: topology %q: %v", s, err)
 		}
-		h, err := strconv.ParseUint(hl, 10, 32)
-		if err != nil {
-			return t, fmt.Errorf("epiphany: topology %q: bad c2c hop latency: %v", s, err)
-		}
-		t.C2CBytePeriod, t.C2CHopLatency = sim.Time(b), sim.Time(h)
+		t.C2CBytePeriod, t.C2CHopLatency = bp, hl
 	}
-	if r, c, ok := strings.Cut(base, "x"); ok {
-		rows, errR := strconv.Atoi(r)
-		cols, errC := strconv.Atoi(c)
-		if errR == nil && errC == nil {
-			t.MeshRows, t.MeshCols = rows, cols
-			if _, err := t.Resolve(); err != nil {
-				return t, err
-			}
-			return t, nil
-		}
+	st, err := system.ParseTopologySpec(base)
+	if err != nil {
+		return t, err
 	}
-	t.Preset = base
+	t = t.withBase(st)
 	if _, err := t.Resolve(); err != nil {
 		return t, err
 	}
 	return t, nil
+}
+
+// withBase assigns the resolved board to the axis value's canonical
+// field: presets by name, unnamed single chips as mesh dimensions,
+// every parameterized grid under its canonical spec.
+func (t Topo) withBase(st system.Topology) Topo {
+	switch {
+	case st.Name == "":
+		t.MeshRows, t.MeshCols = st.CoreRows, st.CoreCols
+	default:
+		if _, ok := system.TopologyByName(st.Name); ok {
+			t.Preset = st.Name
+		} else {
+			t.Spec = st.Name
+		}
+	}
+	return t
+}
+
+// canonicalize rewrites a Spec-form axis value into canonical form: the
+// spec re-rendered by the grammar ("grid=04x4" -> "grid=4x4/chip=8x8"),
+// or migrated into the Preset/mesh fields when it names one of those
+// ({"spec":"e64"} -> {"preset":"e64"}) - so equal boards key,
+// fingerprint and pool identically however a JSON plan spelled them.
+// Values that fail to parse are returned unchanged (Resolve already
+// rejected them).
+func (t Topo) canonicalize() Topo {
+	if t.Spec == "" {
+		return t
+	}
+	st, err := system.ParseTopologySpec(t.Spec)
+	if err != nil {
+		return t
+	}
+	out := Topo{C2CBytePeriod: t.C2CBytePeriod, C2CHopLatency: t.C2CHopLatency}
+	return out.withBase(st)
 }
 
 // Plan declares one experiment sweep: the axes of the grid and the
@@ -234,6 +281,7 @@ func (p Plan) Normalize() (Plan, error) {
 		if err != nil {
 			return p, err
 		}
+		t = t.canonicalize()
 		key := t.Key()
 		if seen[key] {
 			continue

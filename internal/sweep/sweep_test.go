@@ -37,10 +37,75 @@ func TestParseTopo(t *testing.T) {
 			t.Errorf("ParseTopo(%q).Resolve(): %v", tc.in, err)
 		}
 	}
-	for _, bad := range []string{"", "e63", "0x4", "4x", "e64/c2c=40", "e64/c2c=a:b", "99x99"} {
+	for _, bad := range []string{"", "e63", "0x4", "4x", "e64/c2c=40", "e64/c2c=a:b", "99x99",
+		"grid=0x4", "grid=8x8/chip=8x8", "cluster4x4", "e64x3", "grid=4x4/chip=ax8"} {
 		if _, err := ParseTopo(bad); err == nil {
 			t.Errorf("ParseTopo(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseTopoSpecAxis: grammar specs land in the Spec field in
+// canonical spelling - however they were typed - with presets and
+// ad-hoc meshes migrated to their own fields, so equal boards always
+// produce equal axis values.
+func TestParseTopoSpecAxis(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Topo
+	}{
+		{"grid=4x4/chip=8x8", Topo{Spec: "grid=4x4/chip=8x8"}},
+		{"grid=2x4", Topo{Spec: "grid=2x4/chip=8x8"}}, // /chip= default made explicit
+		{"cluster-4x4", Topo{Spec: "cluster-4x4"}},
+		{"e64x16", Topo{Spec: "e64x16"}},
+		{"grid=1x1/chip=8x8", Topo{Spec: "grid=1x1/chip=8x8"}}, // not aliased onto e64
+		{"grid=2x2/chip=4x4/c2c=40:600", Topo{Spec: "grid=2x2/chip=4x4", C2CBytePeriod: 40, C2CHopLatency: 600}},
+		{"cluster-+2x2", Topo{Preset: "cluster-2x2"}}, // spells the preset: migrates to Preset
+		{"+4x8", Topo{MeshRows: 4, MeshCols: 8}},
+	} {
+		got, err := ParseTopo(tc.in)
+		if err != nil {
+			t.Errorf("ParseTopo(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseTopo(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// The axis value round-trips through its own key.
+		back, err := ParseTopo(got.Key())
+		if err != nil || back != got {
+			t.Errorf("ParseTopo(Key %q) = %+v, %v; want %+v", got.Key(), back, err, got)
+		}
+	}
+
+	// A Spec written directly into a plan (the JSON path) resolves and
+	// canonicalizes during Normalize: alternate spellings of one board
+	// dedupe to a single axis value.
+	p, err := Plan{
+		Workloads: []string{"stencil-tuned"},
+		Topos: []Topo{
+			{Spec: "grid=2x4"},
+			{Spec: "grid=+2x4/chip=8x8"},
+			{Spec: "e64"}, // names the preset: canonicalizes into Preset
+		},
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Topos) != 2 {
+		t.Fatalf("alternate spellings did not dedupe: %+v", p.Topos)
+	}
+	if p.Topos[0] != (Topo{Preset: "e64"}) || p.Topos[1] != (Topo{Spec: "grid=2x4/chip=8x8"}) {
+		t.Fatalf("canonicalized axis %+v", p.Topos)
+	}
+
+	// Both Preset and Spec set is ambiguous, and c2c suffixes belong in
+	// the override fields on the structured axis.
+	if _, err := (Topo{Preset: "e64", Spec: "grid=2x4"}).Resolve(); err == nil {
+		t.Error("Topo with both preset and spec accepted")
+	}
+	if _, err := (Topo{Spec: "e64/c2c=40:600"}).Resolve(); err == nil {
+		t.Error("c2c suffix inside the spec field accepted")
 	}
 }
 

@@ -17,3 +17,23 @@ func BenchmarkSystemConstructionE64(b *testing.B) { benchConstruct(b, E64) }
 func BenchmarkSystemConstructionCluster2x2(b *testing.B) {
 	benchConstruct(b, Cluster2x2)
 }
+
+// benchConstructSpec benchmarks board construction for a grammar spec
+// - the growth axis of the scaling study: construction must stay
+// near-O(cores), which TestNewTopologyAllocsPerCore enforces and
+// BENCH_7.json records.
+func benchConstructSpec(b *testing.B, spec string) {
+	topo, err := ParseTopologySpec(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConstruct(b, topo)
+}
+
+func BenchmarkSystemConstructionGrid16x16(b *testing.B) {
+	benchConstructSpec(b, "grid=2x2/chip=8x8")
+}
+
+func BenchmarkSystemConstructionGrid32x32(b *testing.B) {
+	benchConstructSpec(b, "grid=4x4/chip=8x8")
+}

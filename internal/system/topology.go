@@ -153,9 +153,15 @@ func (t Topology) Validate() error {
 		return fmt.Errorf("epiphany: invalid topology %dx%d chips of %dx%d cores",
 			t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
 	}
-	if mem.FirstRow+t.Rows() > 64 || mem.FirstCol+t.Cols() > 64 {
+	// Cap each factor before multiplying: with all four at most 64 the
+	// products below cannot overflow, so absurd parsed dimensions
+	// (9223372036854775807x1) fail here instead of wrapping around the
+	// fit check.
+	if t.ChipGridRows > 64 || t.ChipGridCols > 64 || t.CoreRows > 64 || t.CoreCols > 64 ||
+		mem.FirstRow+t.Rows() > 64 || mem.FirstCol+t.Cols() > 64 {
 		return fmt.Errorf("epiphany: %dx%d board does not fit the 64x64 mesh address space at origin (%d,%d)",
-			t.Rows(), t.Cols(), mem.FirstRow, mem.FirstCol)
+			min(t.ChipGridRows, 64)*min(t.CoreRows, 64), min(t.ChipGridCols, 64)*min(t.CoreCols, 64),
+			mem.FirstRow, mem.FirstCol)
 	}
 	// sim.Time is unsigned, so "negative" overrides cannot be expressed;
 	// guard instead against absurd values that would overflow the

@@ -1,0 +1,136 @@
+package epiphany_test
+
+// The 1024-core scaling study acceptance harness. The registered
+// "scaling-1024" plan sweeps the workload suite (minus the off-chip
+// matmul, excluded from 8x8-chip grids until a known DMA-ordering race
+// is fixed) from the paper's e16 out to an Epiphany-V-class
+// grid=4x4/chip=8x8 mesh, with the 28nm power model attached. The
+// e16 -> e64 -> cluster-2x2 prefix of the derived table is pinned bit
+// for bit to testdata/scaling_study_golden.csv (regenerate with
+// `go run ./cmd/epiphany-sweep -plan scaling-1024 -topos
+// e16,e64,cluster-2x2 -format csv -o testdata/scaling_study_golden.csv`
+// and explain the drift in the commit message); the 512- and
+// 1024-core boards are checked structurally and for determinism, and
+// CI uploads their full CSV as an artifact.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+
+	"epiphany"
+)
+
+// studyPlan fetches the registered scaling study, failing on a
+// registry miss.
+func studyPlan(t *testing.T) epiphany.SweepPlan {
+	t.Helper()
+	named, ok := epiphany.SweepPlanByName("scaling-1024")
+	if !ok {
+		t.Fatal("scaling-1024 is not in the plan registry")
+	}
+	return named.Plan
+}
+
+// TestScalingStudyGolden pins the study's paper-device prefix (the
+// three presets, 33 cells) to the golden CSV, bit for bit.
+func TestScalingStudyGolden(t *testing.T) {
+	plan := studyPlan(t)
+	plan.Topos = plan.Topos[:3] // e16, e64, cluster-2x2 - the preset prefix
+	res, err := epiphany.Sweep(context.Background(), plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/scaling_study_golden.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CSV(); got != string(want) {
+		t.Errorf("scaling-study CSV drifted from testdata/scaling_study_golden.csv;\nregenerate with `go run ./cmd/epiphany-sweep -plan scaling-1024 -topos e16,e64,cluster-2x2 -format csv -o testdata/scaling_study_golden.csv` and explain why in the commit message\n got:\n%s", got)
+	}
+}
+
+// TestScalingStudy1024 runs the full study - including the 512-core
+// grid=2x4 and 1024-core grid=4x4 boards - and checks its structure:
+// every cell succeeds, the axis reaches 1024 cores, the e16 baseline
+// anchors speedup/efficiency at exactly 1, every cell carries energy,
+// and the multi-chip boards report chip-boundary crossings for the
+// chip-spanning workloads. The whole grid re-renders bit-identically
+// across worker counts, like every sweep.
+func TestScalingStudy1024(t *testing.T) {
+	plan := studyPlan(t)
+	res, err := epiphany.Sweep(context.Background(), plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topoCores := map[string]bool{}
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s failed: %s", c.Workload, c.Topology, c.Err)
+		}
+		if c.Workload == "matmul-offchip" {
+			t.Errorf("matmul-offchip is on the study grid; it is excluded until the off-chip DMA race is fixed")
+		}
+		if c.Topology == "e16" && (c.Speedup != 1 || c.Efficiency != 1) {
+			t.Errorf("baseline cell %s: speedup=%v efficiency=%v, want exactly 1", c.Workload, c.Speedup, c.Efficiency)
+		}
+		if c.Err == "" && c.Metrics.EnergyJ <= 0 {
+			t.Errorf("cell %s/%s has no energy accounting", c.Workload, c.Topology)
+		}
+		topoCores[c.Topology] = true
+	}
+	for _, key := range []string{"e16", "cluster-2x2", "e64", "grid=2x4/chip=8x8", "grid=4x4/chip=8x8"} {
+		if !topoCores[key] {
+			t.Errorf("study axis lacks %s; got %v", key, res.Plan.Topos)
+		}
+	}
+	// The chip-spanning streaming stencils must pay c2c boundaries on
+	// the 1024-core board.
+	crossed := false
+	for _, c := range res.Cells {
+		if c.Topology == "grid=4x4/chip=8x8" && strings.HasPrefix(c.Workload, "stream-stencil") {
+			if c.Metrics.ELinkCrossings > 0 {
+				crossed = true
+			}
+		}
+	}
+	if !crossed {
+		t.Error("no stream-stencil crossings on the 1024-core board")
+	}
+
+	// Rendered bytes are worker-count invariant.
+	res8, err := epiphany.Sweep(context.Background(), plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV() != res8.CSV() {
+		t.Error("study CSV differs between -workers defaults and 8")
+	}
+}
+
+// TestSweepPlanRegistry pins the registry surface: the study is
+// listed, lookups resolve it, and a near-miss name gets a "did you
+// mean" suggestion.
+func TestSweepPlanRegistry(t *testing.T) {
+	plans := epiphany.SweepPlans()
+	found := false
+	for _, p := range plans {
+		if p.Name == "scaling-1024" {
+			found = true
+			if p.Description == "" {
+				t.Error("scaling-1024 has no description")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("SweepPlans() lacks scaling-1024: %v", plans)
+	}
+	if _, err := epiphany.ResolveSweepPlan("scaling-1024"); err != nil {
+		t.Errorf("ResolveSweepPlan(scaling-1024): %v", err)
+	}
+	_, err := epiphany.ResolveSweepPlan("scaling-124")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "scaling-1024"`) {
+		t.Errorf("near-miss plan name error lacks suggestion: %v", err)
+	}
+}

@@ -31,7 +31,33 @@ type (
 	// SweepCellResult is one executed cell: its Metrics plus the
 	// derived speedup, efficiency and crossing-share columns.
 	SweepCellResult = sweep.CellResult
+	// NamedSweepPlan is a registered, reusable sweep plan: the grid
+	// plus the name CLIs and the serve daemon resolve it by.
+	NamedSweepPlan = sweep.NamedPlan
 )
+
+// SweepPlans lists every registered named plan sorted by name. The
+// built-in "scaling-1024" study - the workload suite swept from e16 to
+// a 1024-core grid=4x4/chip=8x8 mesh with the 28nm power model - is
+// always present.
+func SweepPlans() []NamedSweepPlan { return sweep.Plans() }
+
+// SweepPlanByName looks up one registered plan (e.g. "scaling-1024").
+func SweepPlanByName(name string) (NamedSweepPlan, bool) { return sweep.PlanByName(name) }
+
+// ResolveSweepPlan is SweepPlanByName with the canonical unknown-name
+// error ("did you mean" plus the registered listing) on a miss, for
+// CLI flags and service error bodies.
+func ResolveSweepPlan(name string) (NamedSweepPlan, error) { return sweep.ResolvePlan(name) }
+
+// ScalingStudyPlan returns the 1024-core scaling study grid: every
+// built-in workload except the off-chip matmul (excluded from
+// 8x8-chip grids until a known DMA-ordering race is fixed), swept over
+// e16 -> cluster-2x2/e64 -> grid=2x4/chip=8x8 (512 cores) ->
+// grid=4x4/chip=8x8 (1024 cores) with the epiphany-iv-28nm power
+// model at its nominal point, speedup and efficiency derived against
+// the e16 baseline.
+func ScalingStudyPlan() SweepPlan { return sweep.ScalingStudy() }
 
 // Sweep executes the plan's workload x topology x seed grid with the
 // given number of concurrent workers (<= 0 means GOMAXPROCS) and
@@ -43,9 +69,11 @@ func Sweep(ctx context.Context, p SweepPlan, workers int) (*SweepResult, error) 
 }
 
 // ParseSweepTopo parses the textual spelling of a topology axis value:
-// a preset name ("e64"), an ad-hoc single-chip mesh ("4x8"), either
-// optionally followed by "/c2c=BYTE:HOP" chip-to-chip timing overrides
-// in simulation time units (e.g. "cluster-2x2/c2c=40:600").
+// anything the topology grammar accepts (see ParseTopology) - a preset
+// name ("e64"), an ad-hoc single-chip mesh ("4x8"), a parameterized
+// chip grid ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16") - optionally
+// followed by "/c2c=BYTE:HOP" chip-to-chip timing overrides in
+// simulation time units (e.g. "cluster-2x2/c2c=40:600").
 //
 // The energy axes are declared separately on the plan: SweepPlan.Power
 // names a power-model preset and SweepPlan.DVFS lists operating points

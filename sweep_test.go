@@ -86,22 +86,39 @@ func TestSweepOutputIdenticalAcrossWorkers(t *testing.T) {
 
 // TestParseSweepTopoErrors drives the topology-axis parser through its
 // error paths: malformed and out-of-range c2c overrides, degenerate
-// meshes, and unknown presets. (Happy paths are exercised by every
-// sweep test; these are the spellings that must be *rejected*, with a
-// message a CLI user can act on.)
+// meshes and grids, address-space overflow, and unknown spellings -
+// which must carry an internal/names "did you mean" suggestion when a
+// registered preset or grammar form is close. (Happy paths are
+// exercised by every sweep test; these are the spellings that must be
+// *rejected*, with a message a CLI user can act on.)
 func TestParseSweepTopoErrors(t *testing.T) {
 	cases := []struct {
 		in      string
 		wantErr string // substring of the error
 	}{
-		{"nope", "unknown topology preset"},
-		{"", "invalid topology"}, // empty spec parses as a degenerate ad-hoc mesh
-		{"e65", "unknown topology preset"},
+		{"nope", "unknown topology spec"},
+		{"", "unknown topology spec"},
+		{"e65", `did you mean "e64" or "e16"?`},
+		{"cluster4x4", `did you mean "cluster-4x4"`},
+		{"gird=4x4/chip=8x8", `did you mean "grid=4x4/chip=8x8"?`},
 		{"0x0", "invalid topology"},
 		{"0x4", "invalid topology"},
 		{"-1x4", "invalid topology"},
 		{"4x-1", "invalid topology"},
 		{"99x99", "does not fit"},
+		{"grid=0x4/chip=4x4", "invalid topology"},
+		{"grid=4x0", "invalid topology"},
+		{"grid=4x4/chip=0x8", "invalid topology"},
+		{"grid=8x8/chip=8x8", "does not fit"}, // 64 rows from origin row 32
+		{"grid=axb", "ROWSxCOLS"},
+		{"grid=4x4/chip=ax8", "ROWSxCOLS"},
+		{"cluster-9x9", "does not fit"},
+		{"cluster-axb", "ROWSxCOLS"},
+		{"e64x3", "square count"},
+		{"e64x0", "positive chip count"},
+		{"e64x-4", "positive chip count"},
+		{"e16xq", "positive chip count"},
+		{"e64x25", "does not fit"}, // 5x5 chips of 8x8 = 40 rows
 		{"e64/c2c=40", "must be BYTE:HOP"},
 		{"e64/c2c=:", "bad c2c byte period"},
 		{"e64/c2c=a:5", "bad c2c byte period"},
@@ -110,6 +127,7 @@ func TestParseSweepTopoErrors(t *testing.T) {
 		{"e64/c2c=5:-1", "bad c2c hop latency"},
 		{"e64/c2c=99999999999999999999:5", "bad c2c byte period"},
 		{"cluster-2x2/c2c=4000000000:1", "out of range"},
+		{"grid=2x2/chip=8x8/c2c=40", "must be BYTE:HOP"},
 	}
 	for _, tc := range cases {
 		_, err := epiphany.ParseSweepTopo(tc.in)

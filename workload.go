@@ -87,6 +87,20 @@ func Topologies() []Topology { return system.Topologies() }
 // "cluster-2x2").
 func TopologyByName(name string) (Topology, bool) { return system.TopologyByName(name) }
 
+// ParseTopology parses the topology grammar into a validated Topology:
+// preset names ("e64"), ad-hoc single-chip meshes ("4x8"),
+// parameterized chip grids ("grid=4x4/chip=8x8", where /chip= defaults
+// to 8x8), cluster boards of E16 chips ("cluster-4x4"), square chip
+// arrays ("e16x4", "e64x16"), all with an optional "/c2c=BYTE:HOP"
+// chip-to-chip timing-override suffix. Every consumer of a topology
+// spelling - WithTopology callers, the sweep topo axis, the serve
+// daemon's job and plan specs, and the three CLIs - resolves through
+// this one grammar; near-miss spellings get a "did you mean"
+// suggestion, and geometry is validated against the 64x64 mesh
+// address-space ceiling. Topology.Spec renders the canonical spelling
+// back (ParseTopology is its inverse).
+func ParseTopology(spec string) (Topology, error) { return system.ParseTopologySpec(spec) }
+
 // WithTopology runs the workload on the given fabric topology. On
 // multi-chip boards, mesh traffic crossing a chip boundary pays the
 // chip-to-chip eLink's bandwidth and arbitration costs, reported in
