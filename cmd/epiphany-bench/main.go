@@ -36,7 +36,7 @@ func main() {
 	extras := flag.Bool("extras", false, "also run the extension and ablation studies")
 	workloads := flag.String("workloads", "", `batch-run registered workloads: "all" or a comma-separated name list`)
 	jobs := flag.Int("j", 0, "concurrent workers for -workloads (0 = GOMAXPROCS)")
-	topo := flag.String("topo", "", `fabric topology for -workloads: a preset ("e16", "e64", "cluster-2x2"), a mesh ("4x8") or a chip grid ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), optionally with "/c2c=BYTE:HOP"`)
+	topo := flag.String("topo", "", `fabric topology for -workloads: a preset ("e16", "e64", "cluster-2x2"), a mesh ("4x8") or a chip grid ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), optionally with "/c2c=BYTE:HOP" and/or "/shards=N"`)
 	powerModel := flag.String("power", "", `power-model preset for -workloads energy columns (e.g. "epiphany-iv-28nm"; defaults to it when -dvfs is given)`)
 	dvfs := flag.String("dvfs", "", `DVFS operating point for -workloads, "FREQ[MHz]@VOLT[V]" (requires/implies -power)`)
 	flag.Parse()

@@ -44,6 +44,8 @@ func main() {
 		dir     = flag.String("cache-dir", "", "persist cached results here (empty = memory only)")
 		timeout = flag.Duration("timeout", 0, "per-request simulation budget (0 = 2m)")
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+		shards  = flag.Int("shards", 0, "event-engine partition per board: 0 = one shard per chip, 1 = single heap (results are bit-identical either way)")
+		simwork = flag.Int("sim-workers", 1, "goroutines driving each board's shards (composes with -workers)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -58,6 +60,8 @@ func main() {
 		CacheEntries:   *entries,
 		CacheDir:       *dir,
 		RequestTimeout: *timeout,
+		Shards:         *shards,
+		SimWorkers:     *simwork,
 	})
 	if err != nil {
 		log.Fatalf("epiphany-serve: %v", err)

@@ -1,0 +1,179 @@
+package epiphany_test
+
+// The cross-mode determinism suite: the shard partition (WithShards,
+// the /shards= spec suffix) and the host goroutine count (WithWorkers)
+// are execution knobs, never semantics. Every registered workload, on a
+// single chip, the 2x2 cluster, and an asymmetric 2x4 grid, must
+// produce bit-identical Metrics - time-domain AND energy - for every
+// shard count from the classic single heap up to one shard per chip,
+// and for every worker count. Run it under -race with GOMAXPROCS >= 4
+// (CI does) and the parallel scheduler's barrier discipline is checked
+// too, not just its answers.
+//
+// The comparison is plain struct equality on epiphany.Metrics: every
+// field is an integer or a float64 compared by bits, so "identical"
+// here means identical down to float rounding, not approximately equal.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"epiphany"
+)
+
+// determinismTopos are the boards the suite sweeps: one chip (sharding
+// degenerates to the classic heap), the 4-chip cluster preset, and an
+// 8-chip asymmetric grid where chip grouping (shards strictly between 1
+// and NumChips) puts several chips on one shard.
+var determinismTopos = []string{"e64", "cluster-2x2", "grid=2x4/chip=8x8"}
+
+// shardCounts returns the distinct shard counts worth testing on a
+// board of n chips: the classic heap, a grouped partition, and the full
+// one-shard-per-chip layout.
+func shardCounts(n int) []int {
+	var out []int
+	for _, s := range []int{1, 2, 4, n} {
+		if s > n {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			dup = dup || seen == s
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runDeterminism executes w on topo with the given shard partition and
+// worker count, with the energy model attached so the energy fields are
+// part of the comparison.
+func runDeterminism(t *testing.T, w epiphany.Workload, topo epiphany.Topology, shards, workers int) epiphany.Metrics {
+	t.Helper()
+	res, err := epiphany.Run(context.Background(), w,
+		epiphany.WithTopology(topo),
+		epiphany.WithPowerModel("epiphany-iv-28nm", ""),
+		epiphany.WithShards(shards),
+		epiphany.WithWorkers(workers),
+	)
+	if err != nil {
+		t.Fatalf("%s on %s shards=%d workers=%d: %v", w.Name(), topo, shards, workers, err)
+	}
+	return res.Metrics()
+}
+
+// TestDeterminismAcrossShardsAndWorkers is the suite's core claim:
+// for every (topology, workload), the Metrics of every (shards,
+// workers) combination equal the classic sequential engine's
+// (shards=1, workers=1) bit for bit.
+func TestDeterminismAcrossShardsAndWorkers(t *testing.T) {
+	for _, spec := range determinismTopos {
+		topo, err := epiphany.ParseTopology(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(spec, func(t *testing.T) {
+			for _, w := range epiphany.Workloads() {
+				w := w
+				t.Run(w.Name(), func(t *testing.T) {
+					base := runDeterminism(t, w, topo, 1, 1)
+					for _, shards := range shardCounts(topo.NumChips()) {
+						for _, workers := range []int{1, 4} {
+							if shards == 1 && workers == 1 {
+								continue
+							}
+							got := runDeterminism(t, w, topo, shards, workers)
+							if got != base {
+								t.Errorf("shards=%d workers=%d diverged from the sequential engine:\n got  %+v\n want %+v",
+									shards, workers, got, base)
+							}
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestDeterminismShardSpecSuffix pins that the /shards= grammar suffix
+// is the same axis as WithShards: a topology parsed with the suffix
+// produces the same bits as the option, and the suffix round-trips
+// through Spec.
+func TestDeterminismShardSpecSuffix(t *testing.T) {
+	w, ok := epiphany.WorkloadByName("stencil-tuned")
+	if !ok {
+		t.Fatal("stencil-tuned not registered")
+	}
+	base, err := epiphany.ParseTopology("cluster-2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		spec := fmt.Sprintf("cluster-2x2/shards=%d", shards)
+		pinned, err := epiphany.ParseTopology(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pinned.Spec() != spec {
+			t.Errorf("Spec round-trip: parsed %q, rendered %q", spec, pinned.Spec())
+		}
+		got := runDeterminism(t, w, pinned, 0, 1) // shards=0: the spec's pin must win
+		want := runDeterminism(t, w, base, shards, 1)
+		if got != want {
+			t.Errorf("topology %q diverged from WithShards(%d)", spec, shards)
+		}
+	}
+}
+
+// TestDeterminismRecycledShardedBoards runs a mixed-shard batch through
+// one Runner twice, so later jobs land on recycled pooled boards. The
+// pool keys boards by the whole Topology - shard partition included -
+// so a recycled board must still carry its layout and reproduce the
+// same bits as a fresh one.
+func TestDeterminismRecycledShardedBoards(t *testing.T) {
+	topo, err := epiphany.ParseTopology("cluster-2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := epiphany.WorkloadByName("matmul-cannon")
+	if !ok {
+		t.Fatal("matmul-cannon not registered")
+	}
+	want := map[int]epiphany.Metrics{}
+	for _, shards := range []int{1, 2, 4} {
+		want[shards] = runDeterminism(t, w, topo, shards, 1)
+	}
+
+	r := &epiphany.Runner{Workers: 2}
+	var jobs []epiphany.Job
+	var order []int
+	for pass := 0; pass < 2; pass++ {
+		for _, shards := range []int{1, 2, 4} {
+			jobs = append(jobs, epiphany.Job{
+				Workload: w,
+				Options: []epiphany.Option{
+					epiphany.WithTopology(topo),
+					epiphany.WithPowerModel("epiphany-iv-28nm", ""),
+					epiphany.WithShards(shards),
+					epiphany.WithWorkers(2),
+				},
+			})
+			order = append(order, shards)
+		}
+	}
+	br, err := r.RunBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jr := range br.Results {
+		if jr.Err != nil {
+			t.Fatalf("job %d (shards=%d): %v", i, order[i], jr.Err)
+		}
+		if got := jr.Result.Metrics(); got != want[order[i]] {
+			t.Errorf("job %d (shards=%d) on a pooled board diverged from a fresh run", i, order[i])
+		}
+	}
+}

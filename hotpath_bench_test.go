@@ -46,3 +46,55 @@ func benchRunBatch12(b *testing.B, opts []Option) {
 		}
 	}
 }
+
+// BenchmarkSingleJob measures one simulation's wall-clock latency on
+// multi-chip boards across the shard/worker axes - the axis the
+// sharded engine exists for. shards=1 is the classic single-heap
+// engine (the before-this-PR baseline, preserved bit-identical);
+// shards=N/workers=1 prices the sequential shard merge; shards=N/
+// workers=N is the parallel barrier-window scheduler, whose speedup
+// needs as many host cores as workers (on fewer cores the barrier
+// overhead shows up instead - BENCH_8.json records both readings).
+func BenchmarkSingleJob(b *testing.B) {
+	cases := []struct {
+		name            string
+		topo            string
+		workload        string
+		shards, workers int
+	}{
+		{"Cluster2x2/shards=1", "cluster-2x2", "matmul-offchip", 1, 1},
+		{"Cluster2x2/shards=4-workers=1", "cluster-2x2", "matmul-offchip", 4, 1},
+		{"Cluster2x2/shards=4-workers=4", "cluster-2x2", "matmul-offchip", 4, 4},
+		{"Grid1024/shards=1", "grid=4x4/chip=8x8", "stencil-tuned", 1, 1},
+		{"Grid1024/shards=16-workers=1", "grid=4x4/chip=8x8", "stencil-tuned", 16, 1},
+		{"Grid1024/shards=16-workers=4", "grid=4x4/chip=8x8", "stencil-tuned", 16, 4},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			topo, err := ParseTopology(tc.topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, ok := WorkloadByName(tc.workload)
+			if !ok {
+				b.Fatalf("workload %q not registered", tc.workload)
+			}
+			// One pooled board per case: Reset-recycled like the serve
+			// daemon's boards, so construction cost stays out of the
+			// per-job latency.
+			r := &Runner{Workers: 1, Options: []Option{
+				WithTopology(topo),
+				WithShards(tc.shards),
+				WithWorkers(tc.workers),
+			}}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jr := r.RunJob(ctx, Job{Workload: w})
+				if jr.Err != nil {
+					b.Fatal(jr.Err)
+				}
+			}
+		})
+	}
+}

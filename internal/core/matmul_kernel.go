@@ -226,10 +226,13 @@ func runMatmulOnChip(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 		}
 
 		start := hp.Now()
-		cannons := make([]*cannon, 0, g*g)
+		// One slot per core: the kernel closures run concurrently when
+		// the board's chips are on different engine shards, so each
+		// writes its own index rather than appending to a shared slice.
+		cannons := make([]*cannon, g*g)
 		procs := w.Launch("matmul", func(c *ecore.Core, gr, gc int) {
 			ca := newCannon(c, w, gr, gc, m, n, k, plan, cfg.Tuned)
-			cannons = append(cannons, ca)
+			cannons[gr*g+gc] = ca
 			ca.zeroC()
 			ca.multiply()
 		})
@@ -322,10 +325,12 @@ func runMatmulOffChip(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 		hp.WriteDRAMF32(bOff, b)
 
 		start := hp.Now()
-		cannons := make([]*cannon, 0, g*g)
+		// Per-core slots, not a shared append: the closures run
+		// concurrently across engine shards.
+		cannons := make([]*cannon, g*g)
 		procs := w.Launch("matmul", func(c *ecore.Core, gr, gc int) {
 			ca := newCannon(c, w, gr, gc, n, n, n, plan, cfg.Tuned)
-			cannons = append(cannons, ca)
+			cannons[gr*g+gc] = ca
 			offChipKernel(ca, &cfg, Q, S, aOff, bOff, cOff)
 		})
 		hp.Join(procs)

@@ -268,10 +268,12 @@ func runMatmulSumma(h *host.Host, cfg MatmulConfig) (*MatmulResult, error) {
 		}
 
 		start := hp.Now()
-		summas := make([]*summa, 0, g*g)
+		// Per-core slots, not a shared append: the closures run
+		// concurrently across engine shards.
+		summas := make([]*summa, g*g)
 		procs := w.Launch("summa", func(c *ecore.Core, gr, gc int) {
 			su := newSumma(c, w, gr, gc, m, n, k, plan, cfg.Tuned)
-			summas = append(summas, su)
+			summas[gr*g+gc] = su
 			su.zeroC()
 			su.multiply()
 		})

@@ -141,11 +141,20 @@ func RunStreamStencil(h *host.Host, cfg StreamStencilConfig) (*StreamStencilResu
 		hp.WriteDRAMF32(dstOff, flat)
 
 		start := hp.Now()
+		// Per-core traffic counters: the kernels run concurrently when
+		// the board's chips are on different engine shards, so each core
+		// accumulates into its own slot and the host sums after Join
+		// (integer sums, so the total is order-independent).
+		stats := make([]streamStats, cfg.GroupRows*cfg.GroupCols)
 		procs := w.Launch("stream-stencil", func(c *ecore.Core, gr, gc int) {
-			streamKernel(c, w, gr, gc, &cfg, pitch, srcOff, dstOff, res)
+			streamKernel(c, w, gr, gc, &cfg, pitch, srcOff, dstOff, &stats[gr*cfg.GroupCols+gc])
 		})
 		hp.Join(procs)
 		res.Elapsed = hp.Now() - start
+		for _, st := range stats {
+			res.DRAMBytes += st.dramBytes
+			res.RedundantFlops += st.redundantFlops
+		}
 
 		// The final array depends on how many time-chunks ran.
 		chunks := (cfg.Iters + cfg.TBlock - 1) / cfg.TBlock
@@ -169,9 +178,17 @@ func RunStreamStencil(h *host.Host, cfg StreamStencilConfig) (*StreamStencilResu
 	return res, nil
 }
 
+// streamStats are one core's private traffic counters; the host sums
+// them after Join. Kernels must not write shared result fields - cores
+// on different engine shards execute concurrently.
+type streamStats struct {
+	dramBytes      uint64
+	redundantFlops uint64
+}
+
 // streamKernel is the per-core device program.
 func streamKernel(c *ecore.Core, w *sdk.Workgroup, gr, gc int,
-	cfg *StreamStencilConfig, pitch int, srcOff, dstOff mem.Addr, res *StreamStencilResult) {
+	cfg *StreamStencilConfig, pitch int, srcOff, dstOff mem.Addr, stats *streamStats) {
 
 	b := sdk.NewBarrier(w, gr, gc)
 	superR := cfg.GlobalRows / (cfg.GroupRows * cfg.BlockRows)
@@ -206,7 +223,7 @@ func streamKernel(c *ecore.Core, w *sdk.Workgroup, gr, gc int,
 				mem.DRAMBase+srcOff+mem.Addr(4*(wr0*pitch+wc0)), c.Global(stencilGridOff),
 				rows, cols, pitch, cols, true)))
 			c.DMAWait(dma.DMA0)
-			res.DRAMBytes += uint64(4 * rows * cols)
+			stats.dramBytes += uint64(4 * rows * cols)
 
 			// T local Jacobi iterations; the updatable window shrinks by
 			// one ring per iteration, except along edges clamped at the
@@ -245,7 +262,7 @@ func streamKernel(c *ecore.Core, w *sdk.Workgroup, gr, gc int,
 				}
 			}
 			c.Compute(streamComputeCycles(points), uint64(points)*10)
-			res.RedundantFlops += uint64(points)*10 - uint64(cfg.BlockRows*cfg.BlockCols*T*10)
+			stats.redundantFlops += uint64(points)*10 - uint64(cfg.BlockRows*cfg.BlockCols*T*10)
 
 			// Write the interior block back to the destination array.
 			ir, ic := br0-wr0, bc0-wc0
@@ -253,7 +270,7 @@ func streamKernel(c *ecore.Core, w *sdk.Workgroup, gr, gc int,
 				c.Global(at(ir, ic)), mem.DRAMBase+dstOff+mem.Addr(4*(br0*pitch+bc0)),
 				cfg.BlockRows, cfg.BlockCols, cols, pitch, false)))
 			c.DMAWait(dma.DMA0)
-			res.DRAMBytes += uint64(4 * cfg.BlockRows * cfg.BlockCols)
+			stats.dramBytes += uint64(4 * cfg.BlockRows * cfg.BlockCols)
 		}
 		// Chip-wide barrier before the ping-pong arrays swap roles.
 		b.Wait(c)

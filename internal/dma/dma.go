@@ -31,7 +31,11 @@ type Fabric struct {
 	DRAM      *mem.DRAM
 	// Notify, when non-nil, is invoked whenever a transfer deposits data
 	// into a core's SRAM, so pollers of that memory can be re-evaluated.
+	// It runs in the execution context of the shard owning that core.
 	Notify func(core int)
+	// ShardOf maps core index -> owning shard on a sharded multi-chip
+	// board; nil when the whole board runs on the sys shard.
+	ShardOf []*sim.Shard
 	// readBytes counts the bytes booked on the read direction of the
 	// off-chip link - counted here, at the single booking site, rather
 	// than inferred from the resource's busy time, so the energy term
@@ -39,8 +43,19 @@ type Fabric struct {
 	readBytes uint64
 }
 
+// CoreShard returns the shard owning core (the sys shard when the board
+// is unsharded).
+func (f *Fabric) CoreShard(core int) *sim.Shard {
+	if f.ShardOf == nil {
+		return f.Eng.Sys()
+	}
+	return f.ShardOf[core]
+}
+
 // ELinkReadTime books n bytes on the read direction of the off-chip link
-// starting at t and returns the completion time.
+// starting at t and returns the completion time. On a sharded board it
+// must run in the sys shard's execution context (the read link and its
+// byte counter live there).
 func (f *Fabric) ELinkReadTime(t sim.Time, n int) sim.Time {
 	f.readBytes += uint64(n)
 	_, end := f.ELinkRead.Use(t, sim.Time(n)*noc.ELinkBytePeriod)
@@ -129,6 +144,7 @@ const (
 type Engine struct {
 	fab  *Fabric
 	core int
+	sh   *sim.Shard // the shard owning this core
 	ch   [2]*channel
 }
 
@@ -140,10 +156,10 @@ type channel struct {
 
 // NewEngine creates the DMA engine for the given core.
 func NewEngine(fab *Fabric, core int) *Engine {
-	e := &Engine{fab: fab, core: core}
+	e := &Engine{fab: fab, core: core, sh: fab.CoreShard(core)}
 	prefixes := [2]string{"dma0:core", "dma1:core"}
 	for i := range e.ch {
-		e.ch[i] = &channel{done: sim.NewCondIdx(fab.Eng, prefixes[i], core)}
+		e.ch[i] = &channel{done: sim.NewCondIdxOn(e.sh, prefixes[i], core)}
 	}
 	return e
 }
@@ -174,13 +190,18 @@ func (e *Engine) Start(c Chan, desc *Desc) {
 		panic(fmt.Sprintf("dma: core %d channel %d started while busy", e.core, c))
 	}
 	ch.active = true
-	e.run(ch, desc, e.fab.Eng.Now())
+	e.run(ch, desc, e.sh.Now())
 }
 
-// run processes one descriptor starting at time t, then chains.
+// run processes one descriptor starting at time t, then chains. It
+// always executes in e.sh's (the issuing core's shard's) context; on a
+// sharded board the legs that touch other shards' state - the eLink
+// arbiter and DRAM on the sys shard, a destination core's SRAM on
+// another chip - are carried out there via events, and the chain
+// continuation returns here the same way.
 func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 	if d == nil {
-		e.fab.Eng.At(t, func() {
+		e.sh.At(t, func() {
 			ch.active = false
 			ch.done.Broadcast()
 		})
@@ -194,9 +215,14 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 	if src.Kind == mem.KindInvalid || dst.Kind == mem.KindInvalid {
 		panic(fmt.Sprintf("dma: core %d transfer with unmapped address (src %#x dst %#x)", e.core, d.Src, d.Dst))
 	}
+	sharded := e.fab.ShardOf != nil
+	if sharded && src.Kind == mem.KindCore && e.fab.Mesh.CrossShard(src.Core, e.core) {
+		panic(fmt.Sprintf("dma: core %d pull from remote chip core %d is not supported on a sharded board", e.core, src.Core))
+	}
 
+	// finish completes a leg whose copy happens on this shard.
 	finish := func(done sim.Time) {
-		e.fab.Eng.At(done, func() {
+		e.sh.At(done, func() {
 			e.copyDesc(d, src, dst)
 			ch.moved += uint64(n)
 			if dst.Kind != mem.KindDRAM && e.fab.Notify != nil {
@@ -212,29 +238,119 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 	case dst.Kind == mem.KindDRAM:
 		// Off-chip write: compete for the eLink, which is the bottleneck;
 		// DMA pacing overlaps with it.
-		e.fab.ELink.WriteFunc(e.core, n, func() {
-			end := e.fab.Eng.Now()
+		if !sharded {
+			e.fab.ELink.WriteFunc(e.core, n, func() {
+				end := e.fab.Eng.Now()
+				if min := t + pace; end < min {
+					end = min
+				}
+				finish(end)
+			})
+			return
+		}
+		// Sharded: the completion runs on the sys shard, which performs
+		// the copy there (sys may read any core's SRAM, and DRAM writes
+		// must happen on sys) and hands the chain back to this shard.
+		sys := e.fab.Eng.Sys()
+		e.fab.ELink.SubmitFrom(e.sh, t, e.core, n, func() {
+			end := sys.Now()
 			if min := t + pace; end < min {
 				end = min
 			}
-			finish(end)
+			sys.At(end, func() {
+				e.copyDesc(d, src, dst)
+				sys.Send(e.sh, end, func() {
+					ch.moved += uint64(n)
+					e.run(ch, d.Chain, end)
+				})
+			})
 		})
 	case src.Kind == mem.KindDRAM:
 		// Off-chip read: the read direction of the link, then the mesh.
-		end := e.fab.ELinkReadTime(t, n)
-		arrive := e.fab.Mesh.Deliver(end, e.linkCorner(), dst.Core, n)
-		if min := t + pace; arrive < min {
-			arrive = min
+		if !sharded {
+			end := e.fab.ELinkReadTime(t, n)
+			arrive := e.fab.Mesh.Deliver(end, e.linkCorner(), dst.Core, n)
+			if min := t + pace; arrive < min {
+				arrive = min
+			}
+			finish(arrive)
+			return
 		}
-		finish(arrive)
+		e.runDRAMRead(ch, d, t, src, dst, n, pace)
 	default:
 		// On-chip: pace at the DMA rate, book the mesh path.
+		if e.fab.Mesh.CrossShard(src.Core, dst.Core) {
+			e.runCrossPush(ch, d, t, src, dst, n, pace)
+			return
+		}
 		arrive := e.fab.Mesh.Deliver(t, src.Core, dst.Core, n)
 		if min := t + pace; arrive < min {
 			arrive = min
 		}
 		finish(arrive)
 	}
+}
+
+// runCrossPush handles a core-to-core transfer whose destination lives
+// on another chip's shard. The mesh walk and the functional copy run on
+// the sys shard - the walk synchronously at issue time, the copy at
+// arrival, exactly as the unsharded engine does them (sys rounds are
+// mutually exclusive with every chip round, so sys may read the source
+// SRAM and write the destination SRAM race-free) - and the arrival
+// notification and chain continuation are posted on to the destination
+// and issuing shards at the arrival time.
+func (e *Engine) runCrossPush(ch *channel, d *Desc, t sim.Time, src, dst mem.Target, n int, pace sim.Time) {
+	sys := e.fab.Eng.Sys()
+	dstSh := e.fab.CoreShard(dst.Core)
+	e.sh.SendTagged(sys, t, e.core, func() {
+		arrive := e.fab.Mesh.DeliverSys(t, src.Core, dst.Core, n)
+		if min := t + pace; arrive < min {
+			arrive = min
+		}
+		sys.At(arrive, func() {
+			e.copyDesc(d, src, dst)
+			sys.Send(dstSh, arrive, func() {
+				if e.fab.Notify != nil {
+					e.fab.Notify(dst.Core)
+				}
+			})
+			sys.Send(e.sh, arrive, func() {
+				ch.moved += uint64(n)
+				e.run(ch, d.Chain, arrive)
+			})
+		})
+	})
+}
+
+// runDRAMRead handles an off-chip read on a sharded board. Everything
+// the unsharded engine did inline - booking the read link, walking the
+// mesh from the link corner, copying DRAM to the destination SRAM at
+// arrival - runs on the sys shard at the same virtual times; only the
+// arrival notification and the chain continuation are posted to the
+// destination and issuing shards.
+func (e *Engine) runDRAMRead(ch *channel, d *Desc, t sim.Time, src, dst mem.Target, n int, pace sim.Time) {
+	sys := e.fab.Eng.Sys()
+	corner := e.linkCorner()
+	dstSh := e.fab.CoreShard(dst.Core)
+	e.sh.SendTagged(sys, t, e.core, func() {
+		end := e.fab.ELinkReadTime(t, n)
+		arrive := e.fab.Mesh.DeliverSys(end, corner, dst.Core, n)
+		if min := t + pace; arrive < min {
+			arrive = min
+		}
+		sys.At(arrive, func() {
+			e.copyDesc(d, src, dst)
+			sys.Send(dstSh, arrive, func() {
+				if e.fab.Notify != nil {
+					e.fab.Notify(dst.Core)
+				}
+			})
+			sys.Send(e.sh, arrive, func() {
+				ch.moved += uint64(n)
+				e.run(ch, d.Chain, arrive)
+			})
+		})
+	})
 }
 
 // linkCorner returns the core index adjacent to the off-chip link (row 0,
@@ -285,6 +401,9 @@ func (e *Engine) writeBeat(t mem.Target, off mem.Addr, beat int, v uint64) {
 }
 
 // copyDesc performs the functional data movement for one descriptor.
+// On a sharded board it runs either in the shard owning both endpoints
+// or on the sys shard (which may touch any memory: its rounds are
+// mutually exclusive with every chip round).
 func (e *Engine) copyDesc(d *Desc, src, dst mem.Target) {
 	so, do := src.Off, dst.Off
 	for row := 0; row < d.OuterCount; row++ {

@@ -19,6 +19,7 @@ const PollDetectCost = 2 * sim.Cycle
 type Core struct {
 	chip   *Chip
 	idx    int
+	sh     *sim.Shard // the shard owning this core's chip
 	sram   *mem.SRAM
 	dma    *dma.Engine
 	proc   *sim.Proc
@@ -36,6 +37,7 @@ func newCore(ch *Chip, idx int) *Core {
 	return &Core{
 		chip:   ch,
 		idx:    idx,
+		sh:     ch.fab.CoreShard(idx),
 		sram:   ch.fab.SRAMs[idx],
 		dma:    dma.NewEngine(ch.fab, idx),
 		layout: mem.NewLayout(),
@@ -126,14 +128,26 @@ func (c *Core) StoreGlobal32(a mem.Addr, v uint32) {
 		c.sram.Store32(tgt.Off, v)
 		c.chip.notifyWrite(c.idx)
 	case mem.KindCore:
-		arrive := c.chip.fab.Mesh.Deliver(p.Now(), c.idx, tgt.Core, 4)
 		dst := tgt.Core
-		c.chip.eng.At(arrive, func() {
-			c.chip.fab.SRAMs[dst].Store32(tgt.Off, v)
-			c.chip.notifyWrite(dst)
-		})
+		if c.chip.fab.Mesh.CrossShard(c.idx, dst) {
+			// The word lands on another chip's shard: the sys shard walks
+			// the route and the store+notify run in the owning shard.
+			off := tgt.Off
+			c.chip.fab.Mesh.DeliverCross(p.Now(), c.idx, dst, 4, 0, func(sim.Time) {
+				c.chip.fab.SRAMs[dst].Store32(off, v)
+				c.chip.notifyWrite(dst)
+			})
+		} else {
+			arrive := c.chip.fab.Mesh.Deliver(p.Now(), c.idx, dst, 4)
+			c.sh.At(arrive, func() {
+				c.chip.fab.SRAMs[dst].Store32(tgt.Off, v)
+				c.chip.notifyWrite(dst)
+			})
+		}
 	case mem.KindDRAM:
-		c.chip.fab.ELink.WriteFunc(c.idx, 4, func() {
+		// The DRAM store runs on the sys shard at eLink completion (a
+		// same-shard call on a single-chip board).
+		c.chip.fab.ELink.SubmitFrom(c.sh, p.Now(), c.idx, 4, func() {
 			c.chip.fab.DRAM.Store32(tgt.Off, v)
 		})
 	default:
@@ -157,19 +171,27 @@ func (c *Core) CopyWordsTo(dst mem.Addr, srcOff mem.Addr, words int) {
 		mem.Copy(c.sram, tgt.Off, c.sram, srcOff, n)
 		c.chip.notifyWrite(c.idx)
 	case mem.KindCore:
-		arrive := c.chip.fab.Mesh.Deliver(p.Now(), c.idx, tgt.Core, n)
-		if arrive < cpuDone {
-			arrive = cpuDone
-		}
 		dstCore, data := tgt.Core, append([]byte(nil), c.sram.Bytes(srcOff, n)...)
-		c.chip.eng.At(arrive, func() {
-			copy(c.chip.fab.SRAMs[dstCore].Bytes(tgt.Off, n), data)
-			c.chip.notifyWrite(dstCore)
-		})
+		if c.chip.fab.Mesh.CrossShard(c.idx, dstCore) {
+			off := tgt.Off
+			c.chip.fab.Mesh.DeliverCross(p.Now(), c.idx, dstCore, n, cpuDone, func(sim.Time) {
+				copy(c.chip.fab.SRAMs[dstCore].Bytes(off, n), data)
+				c.chip.notifyWrite(dstCore)
+			})
+		} else {
+			arrive := c.chip.fab.Mesh.Deliver(p.Now(), c.idx, dstCore, n)
+			if arrive < cpuDone {
+				arrive = cpuDone
+			}
+			c.sh.At(arrive, func() {
+				copy(c.chip.fab.SRAMs[dstCore].Bytes(tgt.Off, n), data)
+				c.chip.notifyWrite(dstCore)
+			})
+		}
 	case mem.KindDRAM:
 		data := append([]byte(nil), c.sram.Bytes(srcOff, n)...)
 		off := tgt.Off
-		c.chip.fab.ELink.WriteFunc(c.idx, n, func() {
+		c.chip.fab.ELink.SubmitFrom(c.sh, p.Now(), c.idx, n, func() {
 			copy(c.chip.fab.DRAM.Bytes(off, n), data)
 		})
 	default:
@@ -186,8 +208,22 @@ func (c *Core) BlockWriteDRAM(dramOff mem.Addr, srcOff mem.Addr, n int) {
 	// The CPU blocks until the eLink carries the block: the write queues
 	// between here and the link are tiny compared to a 2 KB block, so
 	// back-pressure stalls the store loop almost immediately.
-	c.chip.fab.ELink.Write(c.Proc(), c.idx, n)
-	copy(c.chip.fab.DRAM.Bytes(dramOff, n), c.sram.Bytes(srcOff, n))
+	p := c.Proc()
+	if c.sh == c.chip.eng.Sys() {
+		c.chip.fab.ELink.Write(p, c.idx, n)
+		copy(c.chip.fab.DRAM.Bytes(dramOff, n), c.sram.Bytes(srcOff, n))
+		return
+	}
+	// Sharded board: the copy must run on the sys shard (DRAM lives
+	// there; sys may read any core's SRAM), at the same virtual time the
+	// unsharded path would perform it - eLink completion.
+	reply := sim.NewCondIdxOn(c.sh, "dram-block:core", c.idx)
+	sys := c.chip.eng.Sys()
+	c.chip.fab.ELink.SubmitFrom(c.sh, p.Now(), c.idx, n, func() {
+		copy(c.chip.fab.DRAM.Bytes(dramOff, n), c.sram.Bytes(srcOff, n))
+		sys.Send(c.sh, sys.Now(), func() { reply.Broadcast() })
+	})
+	p.WaitCond(reply)
 }
 
 // --- Flag polling (the `while (*flag < loopcount);` idiom). ---

@@ -88,12 +88,26 @@ func (hp *Proc) Now() sim.Time { return hp.p.Now() }
 func (hp *Proc) Chip() *ecore.Chip { return hp.h.chip }
 
 // WriteCore copies data into core's SRAM at off through the eLink
-// (e_write), blocking for the transfer time.
+// (e_write), blocking for the transfer time. On a sharded board the
+// deposit and the arrival notification run in the core's shard, as an
+// event at the completion time; the host still resumes at that same
+// time, and the deposit is canonically ordered before anything the host
+// does next.
 func (hp *Proc) WriteCore(core int, off mem.Addr, data []byte) {
 	_, end := hp.h.down.Use(hp.p.Now(), sim.Time(len(data))*DownBytePeriod)
+	fab := hp.h.chip.Fabric()
+	sh := fab.CoreShard(core)
+	if sh != hp.p.Shard() {
+		hp.p.Shard().Send(sh, end, func() {
+			copy(fab.SRAMs[core].Bytes(off, len(data)), data)
+			fab.Notify(core)
+		})
+		hp.p.WaitUntil(end)
+		return
+	}
 	hp.p.WaitUntil(end)
-	copy(hp.h.chip.Fabric().SRAMs[core].Bytes(off, len(data)), data)
-	hp.h.chip.Fabric().Notify(core)
+	copy(fab.SRAMs[core].Bytes(off, len(data)), data)
+	fab.Notify(core)
 }
 
 // ReadCore copies n bytes out of core's SRAM at off (e_read).

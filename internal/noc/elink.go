@@ -30,7 +30,11 @@ import (
 // discussion, including the respect in which the paper's own Tables II
 // and III disagree with each other.
 type ELink struct {
-	eng    *sim.Engine
+	// sh is the shard the arbiter lives on (the engine's sys shard):
+	// every tag computation, queue operation, and completion callback
+	// executes there. Cores on other shards reach the arbiter through
+	// SubmitFrom, which posts the submission as a cross-shard event.
+	sh     *sim.Shard
 	rows   int
 	cols   int
 	weight []float64
@@ -84,7 +88,7 @@ func (h *reqHeap) Pop() interface{} {
 func NewELink(eng *sim.Engine, rows, cols int) *ELink {
 	n := rows * cols
 	e := &ELink{
-		eng:      eng,
+		sh:       eng.Sys(),
 		rows:     rows,
 		cols:     cols,
 		weight:   make([]float64, n),
@@ -156,9 +160,34 @@ func (e *ELink) SetUniformWeights() {
 
 // Write blocks p until the eLink has carried n bytes on behalf of core.
 // Concurrent writers are served WFQ-fashion at the 150 MB/s effective rate.
+// When p runs on another shard (a core of a multi-chip board), the
+// submission travels to the arbiter's shard as an event and the
+// completion comes back the same way; the tags and the service order are
+// identical either way.
 func (e *ELink) Write(p *sim.Proc, core, n int) {
-	req := e.submit(core, n)
-	p.WaitCond(req.done)
+	if p.Shard() == e.sh {
+		p.WaitCond(e.submit(core, n).done)
+		return
+	}
+	from := p.Shard()
+	reply := sim.NewCondIdxOn(from, "elink:reply:core", core)
+	e.SubmitFrom(from, p.Now(), core, n, func() {
+		e.sh.Send(from, e.sh.Now(), func() { reply.Broadcast() })
+	})
+	p.WaitCond(reply)
+}
+
+// SubmitFrom books n bytes for core from shard from's execution context
+// at time t. The submission is posted into the arbiter's shard (where
+// the WFQ tags, queue, and completions live); fn, if non-nil, runs
+// there when the transfer completes, before any waiters wake. A
+// same-shard call degenerates to WriteFunc.
+func (e *ELink) SubmitFrom(from *sim.Shard, t sim.Time, core, n int, fn func()) {
+	if from == e.sh {
+		e.submit(core, n).fn = fn
+		return
+	}
+	from.SendTagged(e.sh, t, core, func() { e.submit(core, n).fn = fn })
 }
 
 // WriteAsync books the transfer and returns a Cond broadcast at completion,
@@ -186,7 +215,7 @@ func (e *ELink) submit(core, n int) *elinkReq {
 		start: start,
 		tag:   start + float64(n)/w,
 		seq:   e.total,
-		done:  sim.NewCondIdx(e.eng, "elink:core", core),
+		done:  sim.NewCondIdxOn(e.sh, "elink:core", core),
 	}
 	e.total++
 	e.lastTag[core] = req.tag
@@ -206,7 +235,7 @@ func (e *ELink) serveNext() {
 	req := heap.Pop(&e.pending).(*elinkReq)
 	e.virtual = req.start
 	dur := sim.Time(req.bytes) * ELinkBytePeriod
-	e.eng.After(dur, func() {
+	e.sh.After(dur, func() {
 		e.served[req.core]++
 		e.svcBytes[req.core] += uint64(req.bytes)
 		if req.fn != nil {

@@ -80,23 +80,33 @@ type Mesh struct {
 	// them: a recycled board stays the same board.
 	c2cByte sim.Time
 	c2cHop  sim.Time
-	// stats
-	writes uint64
-	bytes  uint64
-	// hopBytes accumulates payload bytes x on-chip hops taken, on both
-	// the write network (Deliver) and the read network's round trips
-	// (ReadWord) - the energy model's mesh term. Chip-boundary write
-	// hops are counted in crossBytes and read-trip boundary bytes in
-	// crossReadBytes, since they burn off-chip driver energy instead.
-	// crossReadBytes is separate from crossBytes because the latter is
-	// a frozen time-domain metric (Metrics.ELinkCrossBytes); the energy
-	// capture sums both.
+	// gridRows x gridCols is the chip grid.
+	gridRows, gridCols int
+	// cnt holds the delivery statistics, one padded row per chip so
+	// concurrently running chip shards never write the same cache line;
+	// the exported accessors sum the rows. Each walk books into the row
+	// of the chip the message is currently on (its shard's own row when
+	// the engine is sharded).
+	cnt []meshCnt
+	// shards maps chip index -> owning shard once AttachShards wires a
+	// multi-chip board to a sharded engine; nil on single-chip boards
+	// and unsharded engines, where Deliver handles every route inline.
+	shards []*sim.Shard
+}
+
+// meshCnt is one chip's slice of the mesh statistics. See the Mesh
+// field docs for what each counter means; the split per chip exists so
+// parallel shards can account without sharing cache lines (the trailing
+// pad keeps rows 128 bytes apart).
+type meshCnt struct {
+	writes         uint64
+	bytes          uint64
 	hopBytes       uint64
 	crossReadBytes uint64
-	// chip-boundary crossing stats (all zero on a single-chip board)
-	crossings  uint64
-	crossBytes uint64
-	crossTime  sim.Time
+	crossings      uint64
+	crossBytes     uint64
+	crossTime      sim.Time
+	_              [9]uint64
 }
 
 // NewMesh builds the eMesh for the given address map.
@@ -107,6 +117,8 @@ func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
 	}
 	m.chipRows, m.chipCols = amap.ChipDims()
 	gridRows, gridCols := amap.ChipGrid()
+	m.gridRows, m.gridCols = gridRows, gridCols
+	m.cnt = make([]meshCnt, gridRows*gridCols)
 	// Shared chip-to-chip eLink slots, resolved by index: one pair per
 	// (vertical boundary, chip-grid row) and per (horizontal boundary,
 	// chip-grid column).
@@ -161,8 +173,7 @@ func NewMesh(eng *sim.Engine, amap *mem.Map) *Mesh {
 func (m *Mesh) Reset() {
 	clear(m.links)
 	m.errata0 = false
-	m.writes, m.bytes, m.hopBytes, m.crossReadBytes = 0, 0, 0, 0
-	m.crossings, m.crossBytes, m.crossTime = 0, 0, 0
+	clear(m.cnt)
 }
 
 // Rows returns the mesh height.
@@ -194,7 +205,7 @@ func abs(x int) int {
 // the head moves on after HopLatency while the link stays occupied for
 // the serialization time. Boundary hops store-and-forward: the returned
 // time is the tail's arrival on the far chip.
-func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) {
+func (m *Mesh) hop(row *meshCnt, slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) {
 	ls := &m.links[slot]
 	begin := cur
 	if ls.freeAt > begin {
@@ -205,16 +216,49 @@ func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) 
 		ls.busy += serX
 		ls.uses++
 		next := begin + serX + m.c2cHop
-		m.crossings++
-		m.crossBytes += uint64(n)
-		m.crossTime += next - cur
+		row.crossings++
+		row.crossBytes += uint64(n)
+		row.crossTime += next - cur
 		return next, true
 	}
 	ls.freeAt = begin + ser
 	ls.busy += ser
 	ls.uses++
-	m.hopBytes += uint64(n)
+	row.hopBytes += uint64(n)
 	return begin + HopLatency, false
+}
+
+// chipAt returns the chip index of router (r,c) in row-major chip-grid
+// order.
+func (m *Mesh) chipAt(r, c int) int {
+	return (r/m.chipRows)*m.gridCols + c/m.chipCols
+}
+
+// ChipOf returns the chip index of a core.
+func (m *Mesh) ChipOf(core int) int {
+	r, c := m.amap.CoreCoords(core)
+	return m.chipAt(r, c)
+}
+
+// AttachShards wires a multi-chip mesh to a sharded engine: shards[i]
+// is the shard owning chip i. Once attached, routes that cross a chip
+// boundary must go through DeliverCross or DeliverSys (Deliver panics
+// on them): chip shards book only their own chip's links inline, and
+// cross-chip walks run on the sys shard, whose rounds are mutually
+// exclusive with every chip round - so it may book any chip's links
+// race-free, at the same virtual times and in the same canonical order
+// as the unsharded engine.
+func (m *Mesh) AttachShards(shards []*sim.Shard) {
+	if len(shards) != len(m.cnt) {
+		panic(fmt.Sprintf("noc: AttachShards with %d shards for %d chips", len(shards), len(m.cnt)))
+	}
+	m.shards = shards
+}
+
+// CrossShard reports whether a src->dst route crosses chip boundaries
+// on a shard-attached mesh (and so must use DeliverCross).
+func (m *Mesh) CrossShard(src, dst int) bool {
+	return m.shards != nil && m.ChipOf(src) != m.ChipOf(dst)
 }
 
 // Deliver books an n-byte write transfer from src to dst onto the on-chip
@@ -238,29 +282,39 @@ func (m *Mesh) hop(slot int32, cur, ser, serX sim.Time, n int) (sim.Time, bool) 
 // The XY route (X leg first, then Y) is walked inline over the flat
 // slot arrays; a call performs no allocations.
 func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
-	m.writes++
-	m.bytes += uint64(n)
+	if m.shards != nil && m.ChipOf(src) != m.ChipOf(dst) {
+		panic("noc: Deliver across chips on a shard-attached mesh (use DeliverCross/DeliverSys)")
+	}
+	return m.deliver(t, src, dst, n)
+}
+
+// deliver is the walk shared by Deliver (same-chip routes, any context)
+// and DeliverSys/DeliverCross (cross-chip routes, sys context only).
+func (m *Mesh) deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
+	sr, sc := m.amap.CoreCoords(src)
+	row := &m.cnt[m.chipAt(sr, sc)]
+	row.writes++
+	row.bytes += uint64(n)
 	if src == dst || n == 0 {
 		return t
 	}
+	dr, dc := m.amap.CoreCoords(dst)
 	ser := LinkSerialization(n)
 	serX := sim.Time(n) * m.c2cByte
-	sr, sc := m.amap.CoreCoords(src)
-	dr, dc := m.amap.CoreCoords(dst)
 	cur := t
 	lastCross := false
 	hw := m.cols - 1
 	for c := sc; c < dc; c++ {
-		cur, lastCross = m.hop(m.hIdx[(sr*hw+c)*2], cur, ser, serX, n)
+		cur, lastCross = m.hop(row, m.hIdx[(sr*hw+c)*2], cur, ser, serX, n)
 	}
 	for c := sc; c > dc; c-- {
-		cur, lastCross = m.hop(m.hIdx[(sr*hw+c-1)*2+1], cur, ser, serX, n)
+		cur, lastCross = m.hop(row, m.hIdx[(sr*hw+c-1)*2+1], cur, ser, serX, n)
 	}
 	for r := sr; r < dr; r++ {
-		cur, lastCross = m.hop(m.vIdx[(r*m.cols+dc)*2], cur, ser, serX, n)
+		cur, lastCross = m.hop(row, m.vIdx[(r*m.cols+dc)*2], cur, ser, serX, n)
 	}
 	for r := sr; r > dr; r-- {
-		cur, lastCross = m.hop(m.vIdx[((r-1)*m.cols+dc)*2+1], cur, ser, serX, n)
+		cur, lastCross = m.hop(row, m.vIdx[((r-1)*m.cols+dc)*2+1], cur, ser, serX, n)
 	}
 	if lastCross {
 		// The boundary eLink already delivered the tail (store-and-
@@ -271,17 +325,80 @@ func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 	return cur + ser
 }
 
+// DeliverSys is the cross-chip form of Deliver on a shard-attached
+// mesh: the same walk, booking, statistics, and arrival time, callable
+// only from the sys shard's execution context. Sys rounds are mutually
+// exclusive with every chip shard's rounds under the conservative
+// scheduler, so booking other chips' links from here is race-free and
+// lands in canonical event order.
+func (m *Mesh) DeliverSys(t sim.Time, src, dst, n int) (arrive sim.Time) {
+	return m.deliver(t, src, dst, n)
+}
+
+// DeliverCross books an n-byte write transfer whose XY route crosses
+// chip boundaries on a shard-attached mesh, and schedules cb(arrive) in
+// the destination core's shard, where arrive is what Deliver would have
+// returned (clamped up to minT, the caller's pacing floor). It must be
+// called from the source core's shard.
+//
+// The walk itself runs on the sys shard: the issuing shard posts the
+// route there, sys performs the whole walk synchronously at the issue
+// time (its rounds are mutually exclusive with every chip round, so it
+// may book any chip's links race-free), and the arrival callback is
+// posted on to the destination shard. Routing through sys keeps every
+// link booking at the same virtual time and in the same canonical order
+// as the unsharded engine - which is what makes sharded metrics
+// bit-identical to the classic ones. A segmented chip-by-chip walk
+// would book contended slots at later virtual times and redistribute
+// queueing delays.
+func (m *Mesh) DeliverCross(t sim.Time, src, dst, n int, minT sim.Time, cb func(arrive sim.Time)) {
+	if m.shards == nil {
+		panic("noc: DeliverCross without AttachShards")
+	}
+	srcChip, dstChip := m.ChipOf(src), m.ChipOf(dst)
+	if srcChip == dstChip {
+		panic("noc: DeliverCross on a same-chip route (use Deliver)")
+	}
+	sys := m.eng.Sys()
+	to := m.shards[dstChip]
+	m.shards[srcChip].SendTagged(sys, t, src, func() {
+		arrive := m.deliver(t, src, dst, n)
+		if arrive < minT {
+			arrive = minT
+		}
+		sys.Send(to, arrive, func() { cb(arrive) })
+	})
+}
+
 // Crossings returns how many chip-boundary eLink hops Deliver has routed
 // (zero on a single-chip board).
-func (m *Mesh) Crossings() uint64 { return m.crossings }
+func (m *Mesh) Crossings() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].crossings
+	}
+	return n
+}
 
 // CrossBytes returns the total bytes carried over chip-to-chip eLinks.
-func (m *Mesh) CrossBytes() uint64 { return m.crossBytes }
+func (m *Mesh) CrossBytes() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].crossBytes
+	}
+	return n
+}
 
 // CrossTime returns the accumulated time messages spent traversing chip
 // boundaries (arbitration waits, off-chip serialization and crossing
 // latency), summed over deliveries.
-func (m *Mesh) CrossTime() sim.Time { return m.crossTime }
+func (m *Mesh) CrossTime() sim.Time {
+	var t sim.Time
+	for i := range m.cnt {
+		t += m.cnt[i].crossTime
+	}
+	return t
+}
 
 // SetC2C overrides the chip-to-chip eLink timing: the per-byte
 // serialization period and the per-crossing head latency, in sim.Time
@@ -342,28 +459,55 @@ func (m *Mesh) ReadWord(t sim.Time, src, dst int) (done sim.Time) {
 		trips = 4
 	}
 	// Distance counts boundary hops too; keep the split Deliver uses
-	// (on-chip byte-hops vs chip-to-chip bytes).
-	m.hopBytes += 4 * trips * uint64(hops-crossings)
-	m.crossReadBytes += 4 * trips * uint64(crossings)
+	// (on-chip byte-hops vs chip-to-chip bytes). Charged to the issuing
+	// core's chip (reads execute in the issuer's shard).
+	row := &m.cnt[m.ChipOf(src)]
+	row.hopBytes += 4 * trips * uint64(hops-crossings)
+	row.crossReadBytes += 4 * trips * uint64(crossings)
 	return t + cost
 }
 
-// Writes returns the number of Deliver calls.
-func (m *Mesh) Writes() uint64 { return m.writes }
+// Writes returns the number of delivery bookings (Deliver and
+// DeliverCross calls).
+func (m *Mesh) Writes() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].writes
+	}
+	return n
+}
 
 // Bytes returns the total bytes delivered.
-func (m *Mesh) Bytes() uint64 { return m.bytes }
+func (m *Mesh) Bytes() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].bytes
+	}
+	return n
+}
 
 // HopBytes returns the accumulated payload bytes x on-chip hops routed
 // by Deliver plus the read network's round trips - the quantity the
 // energy model prices per byte-hop. Chip-boundary traffic accrues to
 // CrossBytes (writes) and CrossReadBytes (read trips) instead.
-func (m *Mesh) HopBytes() uint64 { return m.hopBytes }
+func (m *Mesh) HopBytes() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].hopBytes
+	}
+	return n
+}
 
 // CrossReadBytes returns the bytes read-network round trips carried
 // over chip-to-chip boundaries. It is kept apart from CrossBytes (a
 // frozen time-domain metric); the energy capture prices their sum.
-func (m *Mesh) CrossReadBytes() uint64 { return m.crossReadBytes }
+func (m *Mesh) CrossReadBytes() uint64 {
+	var n uint64
+	for i := range m.cnt {
+		n += m.cnt[i].crossReadBytes
+	}
+	return n
+}
 
 // linkSlot resolves the directed link leaving router (r,c) towards d to
 // its slot index. ok is false when no such link exists: coordinates off

@@ -71,6 +71,19 @@ type Config struct {
 	// two minutes. A request that exceeds it gets 504 (simulations
 	// already in flight run to their next cancellation point).
 	RequestTimeout time.Duration
+	// Shards is the default event-engine partition for every board the
+	// daemon builds: 0 (auto) gives each chip of a multi-chip board its
+	// own shard, 1 runs boards on the classic single event heap. A job
+	// whose topology spec pins its own "/shards=N" keeps it. Metrics -
+	// and therefore cached results - are bit-identical for every value;
+	// the knob only shapes the execution layout (and, with SimWorkers,
+	// intra-board parallelism). Boards are pooled per partition, so a
+	// long-lived daemon keeps stable shard layouts across recycles.
+	Shards int
+	// SimWorkers runs each board's shards on that many goroutines
+	// (<= 1 means sequential). Composes with Workers: up to
+	// Workers x SimWorkers simulation goroutines.
+	SimWorkers int
 }
 
 // withDefaults resolves the zero knobs.
@@ -135,6 +148,11 @@ type Stats struct {
 	SimulatedWallNS int64 `json:"simulated_wall_ns"`
 	ServedWallNS    int64 `json:"served_wall_ns"`
 	Draining        bool  `json:"draining"`
+	// Shards is the daemon's default event-engine partition (0 = auto,
+	// one shard per chip); SimWorkers the goroutines driving each
+	// board's shards. Neither affects results, only execution layout.
+	Shards     int `json:"shards"`
+	SimWorkers int `json:"sim_workers"`
 }
 
 // JobSpec is the POST /v1/jobs request body: one cell of the
@@ -183,10 +201,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var base []workload.Option
+	if cfg.Shards != 0 {
+		base = append(base, workload.WithShards(cfg.Shards))
+	}
+	if cfg.SimWorkers > 1 {
+		base = append(base, workload.WithWorkers(cfg.SimWorkers))
+	}
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
-		runner: &workload.Runner{Workers: cfg.Workers},
+		runner: &workload.Runner{Workers: cfg.Workers, Options: base},
 		cache:  cache,
 		sweeps: newPlanCache(sweepIDCacheEntries),
 		queue:  make(chan struct{}, cfg.QueueDepth),
@@ -230,6 +255,8 @@ func (s *Server) Stats() Stats {
 		SimulatedWallNS: s.simNS.Load(),
 		ServedWallNS:    s.servedNS.Load(),
 		Draining:        s.draining.Load(),
+		Shards:          s.cfg.Shards,
+		SimWorkers:      max(s.cfg.SimWorkers, 1),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // eventKind discriminates heap entries.
@@ -15,23 +16,26 @@ const (
 	evCall                    // run a callback inline in the engine
 )
 
-// event is one scheduled occurrence.
+// event is one scheduled occurrence, keyed by (t, tag, sid, seq) - the
+// arbitration tag plus the sender shard's id and sequence number, a
+// schedule-independent total order (see key).
 type event struct {
 	t    Time
-	seq  uint64 // FIFO tie-break for determinism
+	tag  int32
+	sid  int32
+	seq  uint64
 	kind eventKind
 	proc *Proc
 	fn   func()
 }
 
+func (ev *event) key() key { return key{t: ev.t, tag: ev.tag, sid: ev.sid, seq: ev.seq} }
+
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+	return h[i].key().less(h[j].key())
 }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
@@ -44,77 +48,141 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
-// Engine is a deterministic sequential discrete-event simulator.
+// Engine is a deterministic discrete-event simulator, partitioned into
+// one or more shards (see Shard). A single-shard engine behaves exactly
+// like the classic sequential engine; a multi-shard engine executes the
+// same canonical event order - the total order over (time, shard, seq)
+// keys - either sequentially (workers = 1, a plain merge of the per-
+// shard heaps) or in parallel (workers > 1, a conservative barrier-
+// window scheduler that lets chip shards run ahead of each other up to
+// the chip-to-chip eLink lookahead). The metrics of a run are
+// bit-identical for every worker count, because the executed schedule
+// is the same canonical order in all modes.
 //
-// Procs run as goroutines but the engine guarantees that at most one of
-// them executes at a time, and always in virtual-time order with FIFO
-// tie-breaking, so simulations are fully reproducible. The zero value is
-// not usable; create engines with NewEngine.
+// Procs run as goroutines but each shard executes at most one of them
+// at a time, and always in key order, so simulations are fully
+// reproducible. The zero value is not usable; create engines with
+// NewEngine.
 type Engine struct {
-	heap    eventHeap
-	now     Time
-	seq     uint64
-	yield   chan struct{} // a proc (or its demise) hands control back here
-	procs   []*Proc
-	blocked int // procs waiting on a Cond (not in the heap)
+	shards    []*Shard
+	workers   int
+	lookahead Time
+
+	// midRun is set for the duration of Run (written single-threaded
+	// before workers start and after they join, so reads during the run
+	// see a stable true).
+	midRun   bool
+	parallel bool // this Run uses the parallel scheduler (Send uses inboxes)
+
 	err     error
-	stopped bool
+	failed  atomic.Bool // mirrors err != nil, checkable without a lock
+	stopped atomic.Bool
 }
 
-// NewEngine returns an empty engine at virtual time zero.
+// NewEngine returns an empty single-shard engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	e := &Engine{workers: 1}
+	e.shards = []*Shard{{eng: e, id: 0, yield: make(chan struct{})}}
+	return e
 }
 
-// Now returns the current virtual time. During Run it is the timestamp of
-// the event being processed.
-func (e *Engine) Now() Time { return e.now }
-
-func (e *Engine) schedule(ev *event) {
-	ev.seq = e.seq
-	e.seq++
-	heap.Push(&e.heap, ev)
-}
-
-// At schedules fn to run inline in the engine at absolute time t (or at the
-// current time if t is in the past). Useful for timers and completions.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
+// AddShards grows the engine by n shards (one per chip of a multi-chip
+// board; shard 0 remains the sys shard). It must be called while the
+// engine is empty - before any event is scheduled or proc spawned - so
+// every event ever created carries a stable shard id.
+func (e *Engine) AddShards(n int) {
+	if e.midRun {
+		panic("sim: AddShards during Run")
 	}
-	e.schedule(&event{t: t, kind: evCall, fn: fn})
+	for _, s := range e.shards {
+		if len(s.heap) != 0 || len(s.procs) != 0 || s.seq != 0 {
+			panic("sim: AddShards on an engine that already scheduled events")
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.shards = append(e.shards, &Shard{eng: e, id: int32(len(e.shards)), yield: make(chan struct{})})
+	}
 }
 
-// After schedules fn to run d after the current virtual time.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// NumShards returns the number of shards (1 = classic sequential
+// engine).
+func (e *Engine) NumShards() int { return len(e.shards) }
 
-// Spawn creates a process named name running fn and schedules it to start
-// at the current virtual time. It may be called before Run or from inside
-// a running Proc or callback.
+// Shard returns shard i. Shard 0 always exists.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Sys returns shard 0, the shard owning board-global state (host,
+// eLink arbiter, DRAM) - and, on a single-chip board, everything.
+func (e *Engine) Sys() *Shard { return e.shards[0] }
+
+// SetLookahead sets the minimum virtual-time latency of any chip-to-
+// chip interaction (the eLink crossing latency plus the first byte's
+// serialization). The parallel scheduler lets chip shards run that far
+// beyond each other's frontiers. Zero (the default) degrades to
+// key-precise windows - still correct, just less concurrent.
+func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
+
+// Lookahead returns the configured chip-to-chip lookahead window.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// SetWorkers sets how many host goroutines execute shards during Run:
+// 1 (the default) is fully sequential; higher counts run shards
+// concurrently under the conservative window scheduler. The executed
+// event schedule - and therefore every metric - is identical for any
+// value; workers only changes wall-clock time. Values are clamped to
+// [1, NumShards].
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(e.shards) {
+		n = len(e.shards)
+	}
+	e.workers = n
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Now returns the current virtual time: the time of the event being
+// processed during a sequential run, or the maximum shard time (the
+// board's completion time) after a run. During a parallel run it is
+// only meaningful from within shard code, which should use Shard.Now
+// or Proc.Now instead.
+func (e *Engine) Now() Time {
+	if len(e.shards) == 1 {
+		return e.shards[0].now
+	}
+	var t Time
+	for _, s := range e.shards {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}
+
+// At schedules fn on shard 0 at absolute time t (or at the current time
+// if t is in the past). Useful for timers and completions.
+func (e *Engine) At(t Time, fn func()) { e.shards[0].At(t, fn) }
+
+// After schedules fn on shard 0, d after shard 0's current time.
+func (e *Engine) After(d Time, fn func()) { e.shards[0].After(d, fn) }
+
+// Spawn creates a process named name running fn on shard 0 and
+// schedules it to start at the current virtual time. It may be called
+// before Run or from inside a running Proc or callback.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	return e.SpawnAt(e.now, name, fn)
+	return e.shards[0].Spawn(name, fn)
 }
 
 // SpawnAt is Spawn with an explicit absolute start time.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
-	if t < e.now {
-		t = e.now
-	}
-	p := &Proc{
-		eng:    e,
-		id:     len(e.procs),
-		name:   name,
-		resume: make(chan Time),
-		fn:     fn,
-		state:  stateNew,
-	}
-	e.procs = append(e.procs, p)
-	e.schedule(&event{t: t, kind: evStart, proc: p})
-	return p
+	return e.shards[0].SpawnAt(t, name, fn)
 }
 
-// Run processes events until the event queue drains. It returns an error
-// if a Proc panicked or if runnable work remains blocked forever
+// Run processes events until every shard's queue drains. It returns an
+// error if a Proc panicked or if runnable work remains blocked forever
 // (deadlock: procs waiting on conditions nobody will signal).
 func (e *Engine) Run() error {
 	return e.RunUntil(^Time(0))
@@ -123,81 +191,254 @@ func (e *Engine) Run() error {
 // RunUntil is Run but stops (without error) once virtual time would
 // exceed limit. Events at exactly limit are still processed.
 func (e *Engine) RunUntil(limit Time) error {
+	e.midRun = true
+	defer func() { e.midRun = false }()
+	if e.workers > 1 && len(e.shards) > 1 {
+		return e.runParallel(limit)
+	}
+	if len(e.shards) == 1 {
+		return e.runSingle(limit)
+	}
+	return e.runSequential(limit)
+}
+
+// runSingle is the classic sequential loop over the lone shard.
+func (e *Engine) runSingle(limit Time) error {
+	s := e.shards[0]
 	for e.err == nil {
-		if len(e.heap) == 0 {
-			if e.blocked > 0 && !e.stopped {
+		if len(s.heap) == 0 {
+			if s.blocked > 0 && !e.stopped.Load() {
 				return e.deadlockError()
 			}
 			return e.err
 		}
-		if e.heap[0].t > limit {
+		if s.heap[0].t > limit {
 			return e.err
 		}
-		ev := heap.Pop(&e.heap).(*event)
-		e.now = ev.t
-		switch ev.kind {
-		case evCall:
-			ev.fn()
-		case evStart:
-			ev.proc.start()
-			<-e.yield
-		case evResume:
-			p := ev.proc
-			if p.state == stateDone {
-				break // stale wake-up after proc ended
-			}
-			p.state = stateRunning
-			p.now = ev.t
-			p.resume <- ev.t
-			<-e.yield
-		}
+		s.dispatch(heap.Pop(&s.heap).(*event))
 	}
 	return e.err
 }
 
-// Stop makes Run return after the current event completes. Procs blocked
-// on conditions do not count as a deadlock after Stop.
-func (e *Engine) Stop() { e.stopped = true }
-
-// Reset returns a drained engine to its initial state - virtual time
-// zero, no events, no procs, fresh sequence numbers - so the structures
-// built around it (and their goroutine-free event state) can be recycled
-// instead of reconstructed. It refuses engines that are not quiescent:
-// pending events, procs parked on conditions, or procs that never ran
-// (their goroutines would leak and their wake-ups would corrupt the next
-// simulation). A successful Run leaves the engine quiescent.
-func (e *Engine) Reset() error {
-	if len(e.heap) != 0 || e.blocked != 0 {
-		return fmt.Errorf("sim: Reset of non-quiescent engine (%d pending events, %d blocked procs)",
-			len(e.heap), e.blocked)
+// runSequential merges the shard heaps in global key order - the
+// canonical schedule the parallel mode reproduces.
+func (e *Engine) runSequential(limit Time) error {
+	for e.err == nil {
+		var next *Shard
+		var best key
+		for _, s := range e.shards {
+			if len(s.heap) == 0 {
+				continue
+			}
+			if k := s.heap[0].key(); next == nil || k.less(best) {
+				next, best = s, k
+			}
+		}
+		if next == nil {
+			if e.totalBlocked() > 0 && !e.stopped.Load() {
+				return e.deadlockError()
+			}
+			return e.err
+		}
+		if best.t > limit {
+			return e.err
+		}
+		next.dispatch(heap.Pop(&next.heap).(*event))
 	}
-	for _, p := range e.procs {
-		if p.state != stateDone {
-			return fmt.Errorf("sim: Reset with proc %q not finished", p.name)
+	return e.err
+}
+
+// runParallel executes shards on several workers in barrier-delimited
+// rounds. Each round: (A) every shard drains its inbox and publishes
+// its frontier key; the coordinator derives per-shard execution bounds;
+// (B) every shard executes events strictly below its bound. Bounds are
+// conservative: a chip shard may run up to the engine lookahead past
+// other chips' frontiers but never past the sys shard's frontier (host,
+// eLink and DRAM interactions carry no lookahead), and vice versa - so
+// an event is executed only when no other shard can still post an
+// earlier-keyed event to it, which makes the executed schedule exactly
+// the canonical key order of runSequential.
+func (e *Engine) runParallel(limit Time) error {
+	nw := e.workers
+	e.parallel = true
+	defer func() { e.parallel = false }()
+
+	// Workers 1..nw-1 each own the shards congruent to their index;
+	// the coordinator (this goroutine) owns the rest and runs the
+	// global decisions between phases.
+	type ctl struct {
+		start chan int
+		done  chan struct{}
+	}
+	ctls := make([]ctl, nw)
+	for w := 1; w < nw; w++ {
+		ctls[w] = ctl{start: make(chan int, 1), done: make(chan struct{}, 1)}
+		go func(w int, c ctl) {
+			for ph := range c.start {
+				for i := w; i < len(e.shards); i += nw {
+					if ph == 0 {
+						e.shards[i].phaseA()
+					} else {
+						e.shards[i].phaseB(limit)
+					}
+				}
+				c.done <- struct{}{}
+			}
+		}(w, ctls[w])
+	}
+	defer func() {
+		for w := 1; w < nw; w++ {
+			close(ctls[w].start)
+		}
+	}()
+
+	phase := func(ph int) {
+		for w := 1; w < nw; w++ {
+			ctls[w].start <- ph
+		}
+		for i := 0; i < len(e.shards); i += nw {
+			if ph == 0 {
+				e.shards[i].phaseA()
+			} else {
+				e.shards[i].phaseB(limit)
+			}
+		}
+		for w := 1; w < nw; w++ {
+			<-ctls[w].done
 		}
 	}
-	clear(e.procs)
-	e.procs = e.procs[:0]
-	e.now, e.seq = 0, 0
+
+	for {
+		phase(0)
+		if e.failed.Load() {
+			return e.err
+		}
+		empty := true
+		minT := ^Time(0)
+		for _, s := range e.shards {
+			if s.frontOK {
+				empty = false
+				if s.frontKey.t < minT {
+					minT = s.frontKey.t
+				}
+			}
+		}
+		if empty {
+			if e.totalBlocked() > 0 && !e.stopped.Load() {
+				return e.deadlockError()
+			}
+			return e.err
+		}
+		if minT > limit {
+			return e.err
+		}
+		e.computeBounds()
+		phase(1)
+		if e.failed.Load() {
+			return e.err
+		}
+	}
+}
+
+// computeBounds derives each shard's execution window for one round
+// from the frontiers published in phase A.
+func (e *Engine) computeBounds() {
+	L := e.lookahead
+	for _, a := range e.shards {
+		bound := infKey
+		for _, o := range e.shards {
+			if o == a || !o.frontOK {
+				continue
+			}
+			f := o.frontKey
+			if a.id != 0 && o.id != 0 && a.pendingReplies == 0 && L > 0 {
+				// Chip-to-chip interactions carry at least the eLink
+				// crossing lookahead; lift the frontier by L. The
+				// lifted key's sid of -1 makes the window exclusive of
+				// events at exactly t+L.
+				if f.t > ^Time(0)-L {
+					continue // effectively infinite
+				}
+				f = key{t: f.t + L, tag: -1 << 30, sid: -1}
+			}
+			if f.less(bound) {
+				bound = f
+			}
+		}
+		a.bound = bound
+	}
+}
+
+func (e *Engine) totalBlocked() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.blocked
+	}
+	return n
+}
+
+// Stop suppresses the deadlock check when the run winds down: after
+// Stop, Procs still blocked on conditions when the queues drain do not
+// count as a deadlock. (Used with RunUntil for fixed-window
+// experiments.)
+func (e *Engine) Stop() { e.stopped.Store(true) }
+
+// Reset returns a drained engine to its initial state - virtual time
+// zero, no events, no procs, fresh sequence numbers on every shard -
+// so the structures built around it (and their goroutine-free event
+// state) can be recycled instead of reconstructed. The shard layout,
+// lookahead and worker count are board properties and survive. It
+// refuses engines that are not quiescent: pending events, procs parked
+// on conditions, or procs that never ran (their goroutines would leak
+// and their wake-ups would corrupt the next simulation). A successful
+// Run leaves the engine quiescent.
+func (e *Engine) Reset() error {
+	for _, s := range e.shards {
+		if err := s.quiesceErr(); err != nil {
+			return err
+		}
+	}
+	for _, s := range e.shards {
+		s.reset()
+	}
 	e.err = nil
-	e.stopped = false
+	e.failed.Store(false)
+	e.stopped.Store(false)
 	return nil
 }
 
+// fail records the first error; safe to call from any shard's context.
 func (e *Engine) fail(err error) {
-	if e.err == nil {
+	if e.failed.CompareAndSwap(false, true) {
 		e.err = err
 	}
 }
 
+// deadlockError reports every blocked proc by name and, on a sharded
+// engine, each shard's low-water mark, so a stuck multi-chip run shows
+// which chip stalled where.
 func (e *Engine) deadlockError() error {
 	var names []string
-	for _, p := range e.procs {
-		if p.state == stateBlocked {
-			names = append(names, fmt.Sprintf("%s@%v", p.name, p.blockedOn.Name()))
+	for _, s := range e.shards {
+		for _, p := range s.procs {
+			if p.state == stateBlocked {
+				names = append(names, fmt.Sprintf("%s@%v", p.name, p.blockedOn.Name()))
+			}
 		}
 	}
 	sort.Strings(names)
-	return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v",
-		e.now, e.blocked, names)
+	if len(e.shards) == 1 {
+		return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v",
+			e.Now(), e.totalBlocked(), names)
+	}
+	marks := make([]string, len(e.shards))
+	for i, s := range e.shards {
+		label := "sys"
+		if s.id > 0 {
+			label = fmt.Sprintf("chip%d", s.id-1)
+		}
+		marks[i] = fmt.Sprintf("%s@t=%v", label, s.now)
+	}
+	return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v (shard low-water marks: %v)",
+		e.Now(), e.totalBlocked(), names, marks)
 }

@@ -16,10 +16,12 @@ const (
 )
 
 // Proc is a simulated process. Its function runs on a dedicated goroutine,
-// but the engine ensures only one Proc executes at a time, so Procs may
-// freely touch shared simulation state without synchronization.
+// but the owning shard ensures only one of its Procs executes at a time,
+// so Procs may freely touch their shard's simulation state without
+// synchronization. State owned by other shards must be reached through
+// Shard.Send.
 type Proc struct {
-	eng       *Engine
+	sh        *Shard
 	id        int
 	name      string
 	now       Time
@@ -27,36 +29,53 @@ type Proc struct {
 	fn        func(*Proc)
 	state     procState
 	blockedOn *Cond // the Cond being waited on (deadlock diagnostics)
-	done      *Cond // lazily created completion condition
+	done      *Cond // completion condition, owned by shard 0
+	// doneSys mirrors "the proc finished" into shard 0's timeline: it
+	// is set by a shard-0 event at the completion time, so host-side
+	// code (the only cross-shard reader) observes completion exactly
+	// when the done Cond broadcasts. On a single-shard engine it is
+	// set inline, identical to the classic engine.
+	doneSys bool
 }
 
 // Engine returns the engine this Proc belongs to.
-func (p *Proc) Engine() *Engine { return p.eng }
+func (p *Proc) Engine() *Engine { return p.sh.eng }
+
+// Shard returns the shard this Proc runs on.
+func (p *Proc) Shard() *Shard { return p.sh }
 
 // Name returns the name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
 
-// ID returns the Proc's unique spawn index.
+// ID returns the Proc's spawn index within its shard.
 func (p *Proc) ID() int { return p.id }
 
 // Now returns the Proc's current virtual time.
 func (p *Proc) Now() Time { return p.now }
 
-// start launches the Proc's goroutine. Engine-side only.
+// start launches the Proc's goroutine. Shard-side only.
 func (p *Proc) start() {
 	p.state = stateRunning
-	p.now = p.eng.now
+	p.now = p.sh.now
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				p.eng.fail(fmt.Errorf("sim: proc %q panicked at t=%v: %v\n%s",
+				p.sh.eng.fail(fmt.Errorf("sim: proc %q panicked at t=%v: %v\n%s",
 					p.name, p.now, r, debug.Stack()))
 			}
 			p.state = stateDone
-			if p.done != nil {
+			sys := p.sh.eng.shards[0]
+			if p.sh == sys {
+				p.doneSys = true
 				p.done.Broadcast()
+			} else {
+				pp := p
+				p.sh.Send(sys, p.now, func() {
+					pp.doneSys = true
+					pp.done.Broadcast()
+				})
 			}
-			p.eng.yield <- struct{}{}
+			p.sh.yield <- struct{}{}
 		}()
 		p.fn(p)
 	}()
@@ -77,8 +96,8 @@ func (p *Proc) WaitUntil(t Time) {
 		t = p.now
 	}
 	p.state = stateWaiting
-	p.eng.schedule(&event{t: t, kind: evResume, proc: p})
-	p.eng.yield <- struct{}{}
+	p.sh.schedule(&event{t: t, kind: evResume, proc: p})
+	p.sh.yield <- struct{}{}
 	p.now = <-p.resume
 }
 
@@ -87,36 +106,35 @@ func (p *Proc) WaitUntil(t Time) {
 func (p *Proc) block(c *Cond) {
 	p.state = stateBlocked
 	p.blockedOn = c
-	p.eng.blocked++
-	p.eng.yield <- struct{}{}
+	p.sh.blocked++
+	p.sh.yield <- struct{}{}
 	p.now = <-p.resume
 }
 
-// unblock schedules the Proc to resume at time t. Engine/Cond-side only.
+// unblock schedules the Proc to resume at time t. Shard/Cond-side only.
 func (p *Proc) unblock(t Time) {
 	if p.state != stateBlocked {
 		return
 	}
-	if t < p.eng.now {
-		t = p.eng.now
+	if t < p.sh.now {
+		t = p.sh.now
 	}
 	p.state = stateWaiting
 	p.blockedOn = nil
-	p.eng.blocked--
-	p.eng.schedule(&event{t: t, kind: evResume, proc: p})
+	p.sh.blocked--
+	p.sh.schedule(&event{t: t, kind: evResume, proc: p})
 }
 
 // Done returns a Cond broadcast when the Proc's function returns. Other
-// Procs can WaitCond on it to join.
-func (p *Proc) Done() *Cond {
-	if p.done == nil {
-		p.done = NewCond(p.eng, "done:"+p.name)
-	}
-	return p.done
-}
+// Procs can WaitCond on it to join. The Cond is owned by shard 0, where
+// joining (host-side) code runs.
+func (p *Proc) Done() *Cond { return p.done }
 
-// Finished reports whether the Proc's function has returned.
-func (p *Proc) Finished() bool { return p.state == stateDone }
+// Finished reports whether the Proc's function has returned, as
+// observed from shard 0's timeline (the only place cross-shard code
+// asks; on a single-shard engine this is simply "the function
+// returned").
+func (p *Proc) Finished() bool { return p.doneSys }
 
 // Join blocks p until other has finished.
 func (p *Proc) Join(other *Proc) {

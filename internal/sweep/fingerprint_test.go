@@ -101,6 +101,14 @@ func TestFingerprintDistinguishesEveryAxis(t *testing.T) {
 	variants["c2c hop latency"] = v
 
 	v = base
+	v.Topos = []Topo{{Preset: "e16"}, {Preset: "cluster-2x2", Shards: 2}}
+	variants["engine shards"] = v
+
+	v = base
+	v.Topos = []Topo{{Preset: "e16"}, {Preset: "cluster-2x2", Shards: 1}}
+	variants["engine shards classic heap"] = v
+
+	v = base
 	v.Power = "epiphany-iii-65nm"
 	v.DVFS = nil // the IV-28nm ladder's points don't all exist on the III model
 	variants["power model"] = v

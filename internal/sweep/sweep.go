@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 
 	"epiphany/internal/names"
@@ -75,14 +76,25 @@ type Topo struct {
 	// defaults. Only meaningful on multi-chip boards.
 	C2CBytePeriod sim.Time `json:"c2c_byte_period,omitempty"`
 	C2CHopLatency sim.Time `json:"c2c_hop_latency,omitempty"`
+	// Shards pins the event-engine partition of the board (the
+	// /shards=N grammar suffix): 0 keeps the default (one shard per
+	// chip), 1 the classic single heap, k in [2, NumChips] a contiguous
+	// grouping. The partition never changes a cell's metrics - the
+	// engine's determinism contract, pinned by the determinism suite -
+	// but it is part of the board's structural identity (pooled boards
+	// keep their partition across recycles), so it is part of the axis
+	// value and its key. Spell it here, not as a /shards= suffix inside
+	// Spec.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Key returns the canonical cell label of the topology: the preset
 // name, the grid spec, or "RxC" for ad-hoc meshes, with a
 // "/c2c=byte:hop" suffix when the link timing is overridden (a zero
 // component means that knob keeps its calibrated default, not that it
-// costs nothing). Keys identify baseline cells and label table rows;
-// two Topos with equal keys are the same axis value.
+// costs nothing) and a "/shards=N" suffix when the engine partition is
+// pinned. Keys identify baseline cells and label table rows; two Topos
+// with equal keys are the same axis value.
 func (t Topo) Key() string {
 	key := t.Preset
 	if key == "" {
@@ -93,6 +105,9 @@ func (t Topo) Key() string {
 	}
 	if t.C2CBytePeriod > 0 || t.C2CHopLatency > 0 {
 		key += fmt.Sprintf("/c2c=%d:%d", t.C2CBytePeriod, t.C2CHopLatency)
+	}
+	if t.Shards > 0 {
+		key += fmt.Sprintf("/shards=%d", t.Shards)
 	}
 	return key
 }
@@ -117,6 +132,9 @@ func (t Topo) Resolve() (system.Topology, error) {
 		if strings.Contains(t.Spec, "/c2c=") {
 			return st, fmt.Errorf("epiphany: topology spec %q: spell c2c overrides in the c2c_byte_period/c2c_hop_latency fields (or as the /c2c= suffix of the combined string spelling), not inside spec", t.Spec)
 		}
+		if strings.Contains(t.Spec, "/shards=") {
+			return st, fmt.Errorf("epiphany: topology spec %q: spell the engine partition in the shards field (or as the /shards= suffix of the combined string spelling), not inside spec", t.Spec)
+		}
 		var err error
 		if st, err = system.ParseTopologySpec(t.Spec); err != nil {
 			return st, err
@@ -125,6 +143,7 @@ func (t Topo) Resolve() (system.Topology, error) {
 		st = system.SingleChip(t.MeshRows, t.MeshCols)
 	}
 	st = st.WithC2C(t.C2CBytePeriod, t.C2CHopLatency)
+	st = st.WithShards(t.Shards)
 	if err := st.Validate(); err != nil {
 		return st, err
 	}
@@ -136,11 +155,21 @@ func (t Topo) Resolve() (system.Topology, error) {
 // ("4x8"), a parameterized chip grid ("grid=4x4/chip=8x8",
 // "cluster-4x4", "e64x16") - optionally followed by "/c2c=BYTE:HOP"
 // with the override periods in sim.Time units (for example
-// "cluster-2x2/c2c=40:600"). The result is canonical: however the
-// board was spelled, equal boards parse to equal Topos.
+// "cluster-2x2/c2c=40:600") and then "/shards=N" pinning the engine
+// partition (the suffix order matches the grammar: shards goes last).
+// The result is canonical: however the board was spelled, equal boards
+// parse to equal Topos.
 func ParseTopo(s string) (Topo, error) {
 	var t Topo
-	base, c2c, hasC2C := strings.Cut(s, "/c2c=")
+	rest, shards, hasShards := strings.Cut(s, "/shards=")
+	if hasShards {
+		n, err := strconv.Atoi(shards)
+		if err != nil {
+			return t, fmt.Errorf("epiphany: topology %q: bad shard count: %v (the /shards= suffix goes last)", s, err)
+		}
+		t.Shards = n
+	}
+	base, c2c, hasC2C := strings.Cut(rest, "/c2c=")
 	if hasC2C {
 		bp, hl, err := system.ParseC2C(c2c)
 		if err != nil {
@@ -191,7 +220,7 @@ func (t Topo) canonicalize() Topo {
 	if err != nil {
 		return t
 	}
-	out := Topo{C2CBytePeriod: t.C2CBytePeriod, C2CHopLatency: t.C2CHopLatency}
+	out := Topo{C2CBytePeriod: t.C2CBytePeriod, C2CHopLatency: t.C2CHopLatency, Shards: t.Shards}
 	return out.withBase(st)
 }
 

@@ -21,6 +21,9 @@ func TestParseTopo(t *testing.T) {
 		{"4x8", Topo{MeshRows: 4, MeshCols: 8}, "4x8"},
 		{"e64/c2c=40:600", Topo{Preset: "e64", C2CBytePeriod: 40, C2CHopLatency: 600}, "e64/c2c=40:600"},
 		{"2x2/c2c=5:0", Topo{MeshRows: 2, MeshCols: 2, C2CBytePeriod: 5}, "2x2/c2c=5:0"},
+		{"cluster-2x2/shards=2", Topo{Preset: "cluster-2x2", Shards: 2}, "cluster-2x2/shards=2"},
+		{"cluster-2x2/shards=1", Topo{Preset: "cluster-2x2", Shards: 1}, "cluster-2x2/shards=1"},
+		{"cluster-2x2/c2c=40:600/shards=4", Topo{Preset: "cluster-2x2", C2CBytePeriod: 40, C2CHopLatency: 600, Shards: 4}, "cluster-2x2/c2c=40:600/shards=4"},
 	} {
 		got, err := ParseTopo(tc.in)
 		if err != nil {
@@ -38,10 +41,21 @@ func TestParseTopo(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"", "e63", "0x4", "4x", "e64/c2c=40", "e64/c2c=a:b", "99x99",
-		"grid=0x4", "grid=8x8/chip=8x8", "cluster4x4", "e64x3", "grid=4x4/chip=ax8"} {
+		"grid=0x4", "grid=8x8/chip=8x8", "cluster4x4", "e64x3", "grid=4x4/chip=ax8",
+		"cluster-2x2/shards=8",            // > NumChips
+		"cluster-2x2/shards=-1",           // negative
+		"cluster-2x2/shards=x",            // not a count
+		"cluster-2x2/shards=2/c2c=40:600", // shards must go last
+	} {
 		if _, err := ParseTopo(bad); err == nil {
 			t.Errorf("ParseTopo(%q) accepted", bad)
 		}
+	}
+
+	// The /shards= suffix belongs in the Shards field on the JSON path,
+	// same as /c2c=: a Spec smuggling it in is rejected, not folded.
+	if _, err := (Topo{Spec: "cluster-4x4/shards=2"}).Resolve(); err == nil || !strings.Contains(err.Error(), "shards field") {
+		t.Errorf("Spec with inline /shards= resolved: %v", err)
 	}
 }
 
@@ -60,6 +74,8 @@ func TestParseTopoSpecAxis(t *testing.T) {
 		{"e64x16", Topo{Spec: "e64x16"}},
 		{"grid=1x1/chip=8x8", Topo{Spec: "grid=1x1/chip=8x8"}}, // not aliased onto e64
 		{"grid=2x2/chip=4x4/c2c=40:600", Topo{Spec: "grid=2x2/chip=4x4", C2CBytePeriod: 40, C2CHopLatency: 600}},
+		{"grid=4x4/chip=8x8/shards=16", Topo{Spec: "grid=4x4/chip=8x8", Shards: 16}},
+		{"grid=2x4/shards=4", Topo{Spec: "grid=2x4/chip=8x8", Shards: 4}},
 		{"cluster-+2x2", Topo{Preset: "cluster-2x2"}}, // spells the preset: migrates to Preset
 		{"+4x8", Topo{MeshRows: 4, MeshCols: 8}},
 	} {

@@ -27,6 +27,10 @@ import (
 //	                                 chip grid; N must be a square count
 //	                                 (1, 4, 9, 16, ...)
 //	<any>/c2c=BYTE:HOP               chip-to-chip eLink timing override
+//	<any>/shards=N                   event-engine partition: 1 = single
+//	                                 heap, up to one shard per chip
+//	                                 (0/absent = auto, one per chip);
+//	                                 bit-identical metrics either way
 //
 // Parsed specs are canonical: dimensions re-render without redundant
 // zeros and grid= always carries its /chip= part, so Spec is a fixpoint
@@ -57,7 +61,8 @@ const (
 // Near-miss spellings get a "did you mean" suggestion naming the
 // closest preset or grammar form.
 func ParseTopologySpec(spec string) (Topology, error) {
-	base, c2c, hasC2C := strings.Cut(spec, "/c2c=")
+	rest, shards, hasShards := strings.Cut(spec, "/shards=")
+	base, c2c, hasC2C := strings.Cut(rest, "/c2c=")
 	t, err := parseBaseSpec(base)
 	if err != nil {
 		return Topology{}, err
@@ -68,6 +73,13 @@ func ParseTopologySpec(spec string) (Topology, error) {
 			return Topology{}, fmt.Errorf("epiphany: topology %q: %v", spec, err)
 		}
 		t = t.WithC2C(bp, hl)
+	}
+	if hasShards {
+		n, err := strconv.Atoi(shards)
+		if err != nil {
+			return Topology{}, fmt.Errorf("epiphany: topology %q: bad shard count: %v (the /shards= suffix goes last)", spec, err)
+		}
+		t = t.WithShards(n)
 	}
 	if err := t.Validate(); err != nil {
 		return Topology{}, err
@@ -178,6 +190,9 @@ func (t Topology) Spec() string {
 	}
 	if t.C2CBytePeriod > 0 || t.C2CHopLatency > 0 {
 		base += fmt.Sprintf("/c2c=%d:%d", t.C2CBytePeriod, t.C2CHopLatency)
+	}
+	if t.Shards > 0 {
+		base += fmt.Sprintf("/shards=%d", t.Shards)
 	}
 	return base
 }

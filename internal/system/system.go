@@ -12,6 +12,7 @@ import (
 	"epiphany/internal/core"
 	"epiphany/internal/ecore"
 	"epiphany/internal/host"
+	"epiphany/internal/mem"
 	"epiphany/internal/sdk"
 	"epiphany/internal/sim"
 )
@@ -47,12 +48,32 @@ func NewTopology(t Topology) *System {
 		panic(err)
 	}
 	eng := sim.NewEngine()
-	chip := ecore.NewBoard(eng, t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
+	amap := mem.NewBoardMap(t.ChipGridRows, t.ChipGridCols, t.CoreRows, t.CoreCols)
+	chip := ecore.NewChipMapShards(eng, amap, t.Shards)
 	if t.C2CBytePeriod > 0 || t.C2CHopLatency > 0 {
 		chip.Fabric().Mesh.SetC2C(t.C2CBytePeriod, t.C2CHopLatency)
 	}
+	// The minimum latency of any chip-to-chip interaction - the crossing
+	// latency plus the first byte's off-chip serialization - is the
+	// conservative scheduler's lookahead window.
+	bytePeriod, hopLatency := chip.Fabric().Mesh.C2C()
+	eng.SetLookahead(hopLatency + bytePeriod)
 	return &System{eng: eng, chip: chip, host: host.New(chip)}
 }
+
+// SetWorkers sets how many host goroutines execute the board's shards
+// during a run: 1 (the default) is fully sequential; higher counts run
+// chip shards concurrently under the engine's conservative scheduler.
+// Metrics are bit-identical for every value (the schedule is the same
+// canonical event order); only wall-clock time changes. The value is
+// clamped to the number of shards, so it is a no-op on single-chip
+// boards.
+func (s *System) SetWorkers(n int) { s.eng.SetWorkers(n) }
+
+// NumShards returns how many shards the board's event engine is
+// partitioned into: 1 on single-chip (or Shards=1) boards, 1 + the
+// shard-group count otherwise (shard 0 is the sys shard).
+func (s *System) NumShards() int { return s.eng.NumShards() }
 
 // Chip returns the device for kernel-level programming.
 func (s *System) Chip() *ecore.Chip { return s.chip }

@@ -71,11 +71,13 @@ type TopologyFitter interface {
 // them into it, so WithPowerModel composes with WithTopology in either
 // order.
 type runConfig struct {
-	topo  system.Topology
-	seed  *uint64
-	trace io.Writer
-	power string
-	dvfs  string
+	topo    system.Topology
+	seed    *uint64
+	trace   io.Writer
+	power   string
+	dvfs    string
+	shards  *int
+	workers int
 }
 
 // Option configures how Run (and Runner) executes a workload.
@@ -95,6 +97,29 @@ func WithMeshSize(rows, cols int) Option {
 // Metrics.ELinkCrossTime.
 func WithTopology(t system.Topology) Option {
 	return func(rc *runConfig) { rc.topo = t }
+}
+
+// WithShards partitions the board's event engine into n shards: 0
+// (auto, the default) gives every chip its own shard, 1 runs the whole
+// board on the classic single event heap, 2..NumChips group the chips.
+// The partition never changes the result - Metrics are bit-identical
+// for every value, which the determinism suite pins - it only sets how
+// much of the board WithWorkers can run concurrently. Composes with
+// WithTopology in either order; the shard count becomes part of the
+// board identity Runner pools by, so recycled boards keep their
+// layout.
+func WithShards(n int) Option {
+	return func(rc *runConfig) { s := n; rc.shards = &s }
+}
+
+// WithWorkers runs the simulation's shards on n host goroutines (1, the
+// default, is fully sequential; values above the shard count are
+// clamped). Metrics are bit-identical for every value - the engine
+// executes the same canonical event order - so workers only trade
+// wall-clock time for CPU. Distinct from Runner.Workers, which runs
+// whole jobs concurrently; the two compose (jobs x shards goroutines).
+func WithWorkers(n int) Option {
+	return func(rc *runConfig) { rc.workers = n }
 }
 
 // WithSeed rebases the workload's deterministic inputs onto seed. The
@@ -150,6 +175,11 @@ func prepare(w Workload, opts []Option) (Workload, runConfig, error) {
 	if rc.power != "" || rc.dvfs != "" {
 		rc.topo = rc.topo.WithPower(rc.power, rc.dvfs)
 	}
+	if rc.shards != nil && rc.topo.Shards == 0 {
+		// WithShards is a default: a topology that already pins its
+		// partition (a "/shards=N" spec) keeps it.
+		rc.topo = rc.topo.WithShards(*rc.shards)
+	}
 	if err := rc.topo.Validate(); err != nil {
 		return nil, rc, err
 	}
@@ -174,6 +204,13 @@ func prepare(w Workload, opts []Option) (Workload, runConfig, error) {
 // write failures are surfaced as run errors, not dropped: a caller who
 // asked for the heatmaps and silently got none would misread the run.
 func runOn(ctx context.Context, w Workload, sys *system.System, rc *runConfig) (Result, error) {
+	// Workers is an execution knob, not board identity: set it every
+	// run so a pooled board never inherits the previous job's value.
+	workers := rc.workers
+	if workers < 1 {
+		workers = 1
+	}
+	sys.SetWorkers(workers)
 	res, err := w.Run(ctx, sys)
 	if err != nil {
 		return nil, err

@@ -118,3 +118,16 @@ func WithSeed(seed uint64) Option { return workload.WithSeed(seed) }
 // WithTrace writes the per-core activity heatmaps and the mesh-link
 // heatmap to w after the run.
 func WithTrace(w io.Writer) Option { return workload.WithTrace(w) }
+
+// WithShards partitions a multi-chip board's event engine into n shards
+// (0 = auto, one per chip; 1 = the classic single event heap; up to one
+// per chip). Metrics are bit-identical for every value; the partition
+// only sets how much of the board WithWorkers can run concurrently.
+func WithShards(n int) Option { return workload.WithShards(n) }
+
+// WithWorkers executes the board's shards on n host goroutines (1 =
+// sequential, the default). Metrics are bit-identical for every value -
+// the engine executes the same canonical event order - so workers only
+// trade wall-clock time for CPU. Distinct from Runner.Workers, which
+// runs whole jobs concurrently.
+func WithWorkers(n int) Option { return workload.WithWorkers(n) }
