@@ -36,8 +36,8 @@ type energyGolden struct {
 // epiphany-iv-28nm operating point. Generated from this implementation
 // (the first to compute energy at all).
 var goldenEnergy = map[string]energyGolden{
-	"matmul-cannon":       {0x3f049a9491b4e005, 0x3fee4c8809c26477, 0x402aaea5a91470a0, 0x3e1c059e49de8608, 0x3ee9760ad8a7f59d, 0x3eeb0f18557021b6, 0x3ea19799812dea11, 0x3e9d26e69bbb8d20, 0x0, 0x3e4ff45dd3a46629, 0x0, 0x0, 0x3eebda813455c49a},
-	"matmul-offchip":      {0x3f51619062be4f98, 0x3fe8984eda69a53b, 0x400fa126f710d491, 0x3eb890f62ef13b5b, 0x3f195e558ac8debd, 0x3f40932fea6434e9, 0x3ed19799812dea11, 0x3ecd2810d9d1ef1f, 0x3ee07e1fe91b0b70, 0x3e9105cdec35bd8d, 0x3eaa636641c4df1a, 0x0, 0x3f3cf239a5e1791e},
+	"matmul-cannon":       {0x3f049b05a894a96f, 0x3fee4c4f162449bb, 0x402aae13387a49d8, 0x3e1c07069834d32c, 0x3ee9760ad8a7f59d, 0x3eeb100e9fd53239, 0x3ea19799812dea11, 0x3e9d2700ff21cee5, 0x0, 0x3e4ff45dd3a46629, 0x0, 0x0, 0x3eebdb4e7254a7b1},
+	"matmul-offchip":      {0x3f516199c32918fa, 0x3fe8984db8002737, 0x400fa115e6e94920, 0x3eb89111d27dcb5e, 0x3f195e558ac8debd, 0x3f40933a1608f397, 0x3ed19799812dea11, 0x3ecd282c56b1c8f7, 0x3ee07e1fe91b0b70, 0x3e9105cdec35bd8d, 0x3eaa636641c4df1a, 0x0, 0x3f3cf24a99496196},
 	"matmul-single":       {0x3f063f59bb0061b6, 0x3fe72b030cc50358, 0x3ff8b6006f8ebc14, 0x3e255d0d859278ca, 0x3eb79979093d82ce, 0x3ef73b1325188cc2, 0x3e719799812dea11, 0x3e6bc33e3fdc7563, 0x0, 0x0, 0x0, 0x0, 0x3ef3aa8f87b34257},
 	"matmul-summa":        {0x3f0d19f5febffe6c, 0x3feb8602719b9864, 0x4022e41b02752e7c, 0x3e2ec5122f271554, 0x3ee9760ad8a7f59d, 0x3ef6cd64a43f346c, 0x3ea19799812dea11, 0x3e9d292b2685340c, 0x0, 0x3e455ba6c3a1be2c, 0x0, 0x0, 0x3ef5a774ff70d545},
 	"stencil-cross":       {0x3f107878b3881795, 0x3fe8beb689cbaa79, 0x40145f50fa18b9a2, 0x3e35ed14fceff491, 0x3edd4793b15afde9, 0x3efee2e26c8008b4, 0x3e95798ee2308c3a, 0x3e7374834697e2c6, 0x0, 0x3e126ab4b33c110a, 0x0, 0x0, 0x3efb43770ba76f25},

@@ -98,6 +98,75 @@ func TestDeterminismAcrossShardsAndWorkers(t *testing.T) {
 	}
 }
 
+// TestDeterminismOffChipMatmulProduct pins the fixed schemeDouble
+// off-chip rotation against the sharded engine: for per-core tile
+// edges 8, 16 and 24 on the 4-chip cluster's 8x8 group, the gathered
+// product must be bit-identical to the host reference - not merely
+// deterministic - and the Metrics struct-equal, across every
+// combination of shards {1, one per chip} and workers {1, 4}. Under
+// -race (CI runs this file's tests with GOMAXPROCS=4) this is the
+// strongest witness that the send-credit handshake, not scheduling
+// luck, is what orders the buffer overwrites.
+func TestDeterminismOffChipMatmulProduct(t *testing.T) {
+	topo, err := epiphany.ParseTopology("cluster-2x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ edge, m int }{
+		{8, 128},  // 64-wide DRAM tiles, Q=2 multi-pass paging
+		{16, 128}, // the preset's shape
+		{24, 192}, // larger-than-default tiles
+	} {
+		t.Run(fmt.Sprintf("edge%d", tc.edge), func(t *testing.T) {
+			cfg := epiphany.MatmulConfig{
+				M: tc.m, N: tc.m, K: tc.m, G: 8,
+				OffChip: true, OffChipEdge: tc.edge,
+				Tuned: true, Verify: true, Seed: 3,
+			}
+			ref := epiphany.MatmulReference(cfg)
+			var base epiphany.Metrics
+			first := true
+			for _, shards := range []int{1, topo.NumChips()} {
+				for _, workers := range []int{1, 4} {
+					res, err := epiphany.Run(context.Background(),
+						&epiphany.MatmulWorkload{Config: cfg},
+						epiphany.WithTopology(topo),
+						epiphany.WithPowerModel("epiphany-iv-28nm", ""),
+						epiphany.WithShards(shards),
+						epiphany.WithWorkers(workers),
+					)
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+					}
+					// The power model decorates the result; peel it to
+					// reach the gathered product.
+					inner := res
+					for {
+						u, ok := inner.(interface{ Unwrap() epiphany.Result })
+						if !ok {
+							break
+						}
+						inner = u.Unwrap()
+					}
+					mm, ok := inner.(*epiphany.MatmulResult)
+					if !ok {
+						t.Fatalf("result is %T, want *epiphany.MatmulResult", inner)
+					}
+					if d := epiphany.MaxAbsDiff(mm.C, ref); d != 0 {
+						t.Errorf("shards=%d workers=%d: product differs from host reference by %g", shards, workers, d)
+					}
+					if first {
+						base, first = res.Metrics(), false
+					} else if got := res.Metrics(); got != base {
+						t.Errorf("shards=%d workers=%d: Metrics diverged from the sequential engine:\n got  %+v\n want %+v",
+							shards, workers, got, base)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestDeterminismShardSpecSuffix pins that the /shards= grammar suffix
 // is the same axis as WithShards: a topology parsed with the suffix
 // produces the same bits as the option, and the suffix round-trips

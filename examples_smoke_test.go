@@ -20,9 +20,6 @@ var exampleSmokes = []struct {
 }{
 	{"quickstart", []string{"-iters", "2", "-n", "64"}, "max |diff| vs host reference"},
 	{"heat", []string{"-iters", "4"}, "after 4 iterations"},
-	// 256 keeps the off-chip pager on the paper's 32-wide tiles; smaller
-	// G=8 sizes hit the known schemeDouble forwarding race (see
-	// TestOffChipMatmulSchemeDoubleRaceKnown in internal/core).
 	{"bigmatmul", []string{"-n", "256"}, "max |diff| vs host ref"},
 	{"mandelbrot", []string{"-max-iter", "16"}, "GFLOPS achieved"},
 	{"pingpong", []string{"-loops", "3"}, "mutex demo"},

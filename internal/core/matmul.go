@@ -31,12 +31,24 @@ const (
 
 // Flag slots (4-byte words at matmulFlagsOff), named by who posts them.
 const (
-	flagCDFromLeft    = 0 // left neighbour finished compute round N
+	flagCDFromLeft    = 0 // left neighbour finished compute round N (schemeHalf)
 	flagCDFromUp      = 1
 	flagArrAFromRight = 2 // A block for round N landed (posted by right)
 	flagArrBFromBelow = 3
 	flagP1AFromLeft   = 4 // left finished sending its phase-1 A half
 	flagP1BFromUp     = 5
+	// Slots 6-13 belong to SUMMA (matmul_summa.go).
+	//
+	// The schemeDouble send credit: the poster has fully retired round
+	// N - its compute read the round's buffers AND its rotation
+	// forwarded out of them - so the neighbours that DMA into it
+	// (right for A, below for B) may overwrite those buffers. Posted
+	// after a rotation's sends complete, or right after compute on a
+	// pass's rotation-less final round. Gating overwrites on the
+	// compute-done flag instead opened a race window under skewed
+	// start times (the old off-chip schemeDouble corruption).
+	flagFwdFromLeft = 14 // left neighbour retired round N (sends included)
+	flagFwdFromUp   = 15
 )
 
 // MatmulConfig describes a multiplication C(MxK) = A(MxN) * B(NxK).

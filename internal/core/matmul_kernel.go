@@ -116,11 +116,17 @@ func (ca *cannon) rotate() {
 	aSz, bSz := 4*ca.m*ca.n, 4*ca.n*ca.k
 	switch ca.plan.scheme {
 	case schemeDouble:
-		// Wait for our rotation targets to have finished the compute that
-		// last read the buffers we are about to overwrite.
+		// A neighbour's spare buffer may only be overwritten once the
+		// neighbour has retired the round that last touched it: round
+		// r-1's compute read it and round r-1's rotation forwarded out
+		// of it. The flagFwd credit is granted only after a round's
+		// sends complete, so a core arriving here early - off-chip
+		// tile loads serialize over the eLink and skew start times by
+		// whole DMA lengths - blocks until the target's forwards have
+		// drained instead of racing them.
 		if r >= 2 {
-			ca.await(flagCDFromLeft, r-1)
-			ca.await(flagCDFromUp, r-1)
+			ca.await(flagFwdFromLeft, r-1)
+			ca.await(flagFwdFromUp, r-1)
 		}
 		spareA, spareB := ca.plan.a1, ca.plan.b1
 		if ca.cur == 1 {
@@ -128,6 +134,10 @@ func (ca *cannon) rotate() {
 		}
 		ca.sendBlock(dma.DMA0, ca.left, ca.aBase(), spareA, aSz)
 		ca.sendBlock(dma.DMA1, ca.up, ca.bBase(), spareB, bSz)
+		// Send credit: both forwards out of our current buffers are
+		// complete, so the cores that DMA into us may overwrite them.
+		ca.post(ca.right, flagFwdFromLeft, r)
+		ca.post(ca.dwn, flagFwdFromUp, r)
 		ca.post(ca.left, flagArrAFromRight, r)
 		ca.post(ca.up, flagArrBFromBelow, r)
 		ca.await(flagArrAFromRight, r)
@@ -171,19 +181,28 @@ func (ca *cannon) rotate() {
 }
 
 // multiply runs g compute rounds with g-1 rotations: one on-chip block
-// product C += A*B distributed over the torus. Compute-done counters are
-// posted after every round (rotations in later tile passes gate on them).
+// product C += A*B distributed over the torus. Every round posts a
+// retirement counter to the neighbours that write into this core:
+// schemeHalf posts compute-done right after compute (its phase-1 gate
+// needs the current round's buffer geometry), while schemeDouble grants
+// the flagFwd send credit only once the round's forwards are also done
+// (inside rotate; on a pass's final, rotation-less round there is
+// nothing in flight, so the credit follows compute directly - the next
+// off-chip tile pass's first rotation gates on it).
 func (ca *cannon) multiply() {
 	g := ca.w.Rows
 	for step := 0; step < g; step++ {
 		ca.round++
 		ca.blockCompute()
-		if g > 1 {
+		if g > 1 && ca.plan.scheme == schemeHalf {
 			ca.post(ca.right, flagCDFromLeft, ca.round)
 			ca.post(ca.dwn, flagCDFromUp, ca.round)
 		}
 		if step < g-1 {
 			ca.rotate()
+		} else if g > 1 && ca.plan.scheme == schemeDouble {
+			ca.post(ca.right, flagFwdFromLeft, ca.round)
+			ca.post(ca.dwn, flagFwdFromUp, ca.round)
 		}
 	}
 }

@@ -67,7 +67,12 @@ func (s *summa) send(ch dma.Chan, row, col int, src, dst mem.Addr, sz int) {
 }
 
 // awaitCD waits until the neighbour at (row, col) has computed at least
-// `need` steps, so its panel workspace is free for overwriting.
+// `need` steps, so its panel workspace is free for overwriting. Unlike
+// the old Cannon schemeDouble gate (which raced: its counter was
+// posted before the round's forwards), this compute-done gate is
+// send-safe as-is: postCD runs after panelCompute, and a SUMMA step's
+// forwards out of the panel workspace all happen *before* that step's
+// compute, so a step-N counter proves the workspace's sends drained.
 func (s *summa) awaitCD(row, col int, need uint32) {
 	if need == 0 {
 		return

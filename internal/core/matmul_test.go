@@ -196,29 +196,91 @@ func TestMatmulDeterministic(t *testing.T) {
 	}
 }
 
-// TestOffChipMatmulSchemeDoubleRaceKnown documents a latent protocol
-// bug the example smoke tests surfaced: off-chip runs whose per-core
-// tile is smaller than 32 on an 8x8 group (edge 8/16/24, schemeDouble)
-// produce a wrong product. The double-buffer rotation posts its
+// TestOffChipMatmulSchemeDoubleRegression is the hard pin on the fixed
+// schemeDouble rotation race (formerly the skip-on-bug reproducer
+// TestOffChipMatmulSchemeDoubleRaceKnown). The old protocol posted its
 // compute-done flag *before* forwarding its current buffers, so a
-// neighbour - gated only on that flag - may overwrite a buffer that is
-// still being forwarded. On-chip runs start in lockstep and never open
-// the window; the off-chip driver's eLink-serialized tile loads skew
-// core start times by enough to hit it (the registered matmul-offchip
-// preset, M=128 G=8 edge=16, is affected - its conformance goldens pin
-// the timing of a run whose data is corrupt).
-//
-// The fix is a protocol change (gate buffer overwrites on the target's
-// sends completing, not its compute completing) and will shift every
-// schemeDouble timing, so it must regenerate the matmul goldens in a
-// PR of its own. Until then this test pins the symptom: if the product
-// comes out right, the race was fixed - remove the skip and regenerate
-// the matmul-offchip conformance and sweep goldens in the same change.
-func TestOffChipMatmulSchemeDoubleRaceKnown(t *testing.T) {
-	cfg := MatmulConfig{M: 128, N: 128, K: 128, G: 8, OffChip: true, Tuned: true, Verify: true, Seed: 3}
-	res := runMM(t, cfg)
-	if d := MaxAbsDiff(res.C, MatmulReference(cfg)); d != 0 {
-		t.Skipf("known issue: off-chip schemeDouble race corrupts g=8 sub-32 tiles (max |diff| %g); see comment above", d)
+// neighbour - gated only on that flag - could overwrite a buffer still
+// being forwarded. On-chip runs start in lockstep and never opened the
+// window; the off-chip driver's eLink-serialized tile loads skew core
+// start times by whole DMA lengths and corrupted every g=8 sub-32 tile
+// (including the registered matmul-offchip preset, M=128 G=8 edge=16).
+// The rotation now gates overwrites on the target's flagFwd send
+// credit, which is granted only after the forwards complete. Every
+// schemeDouble shape on an 8x8 group - per-core tile edges 8, 16 and
+// 24, on-chip and off-chip - must now be exact to the host reference.
+func TestOffChipMatmulSchemeDoubleRegression(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MatmulConfig
+	}{
+		// On-chip: M = 8*edge puts edge^3 blocks on every core.
+		{"onchip-edge8", MatmulConfig{M: 64, N: 64, K: 64, G: 8}},
+		{"onchip-edge16", MatmulConfig{M: 128, N: 128, K: 128, G: 8}},
+		{"onchip-edge24", MatmulConfig{M: 192, N: 192, K: 192, G: 8}},
+		// Off-chip: the pinned edge selects the schemeDouble pager.
+		// edge8 at M=128 runs Q=2 tile passes, so the cross-pass send
+		// credit (granted on a pass's rotation-less final round) is
+		// exercised too; edge16 at M=128 is the matmul-offchip preset's
+		// exact shape, the one the old race corrupted.
+		{"offchip-edge8", MatmulConfig{M: 128, N: 128, K: 128, G: 8, OffChip: true, OffChipEdge: 8}},
+		{"offchip-edge16", MatmulConfig{M: 128, N: 128, K: 128, G: 8, OffChip: true, OffChipEdge: 16}},
+		{"offchip-edge24", MatmulConfig{M: 192, N: 192, K: 192, G: 8, OffChip: true, OffChipEdge: 24}},
 	}
-	t.Error("off-chip schemeDouble race appears fixed: remove this skip and regenerate the matmul-offchip conformance and sweep goldens")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Tuned = true
+			cfg.Verify = true
+			cfg.Seed = 3
+			m, n, k, err := cfg.blockDims()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.OffChip {
+				m, n, k = cfg.OffChipEdge, cfg.OffChipEdge, cfg.OffChipEdge
+			}
+			plan, err := planMatmul(m, n, k, cfg.G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.scheme != schemeDouble {
+				t.Fatalf("%dx%dx%d per-core block plans %v, want schemeDouble", m, n, k, plan.scheme)
+			}
+			res := runMM(t, cfg)
+			if d := MaxAbsDiff(res.C, MatmulReference(cfg)); d != 0 {
+				t.Errorf("schemeDouble race regressed: max |diff| vs host reference %g, want 0", d)
+			}
+		})
+	}
+}
+
+// TestSchemeDoubleSeededDifferential holds the repaired rotation
+// protocol to the host reference across a seeded spread of shapes that
+// vary the eLink start-time skew (tile edge and group size change the
+// serialized DMA lengths that stagger core start times). Timing is
+// data-independent, so the seeds' job is to move the operand values:
+// any reopened overwrite window corrupts different elements under
+// different seeds and cannot hide behind one lucky input.
+func TestSchemeDoubleSeededDifferential(t *testing.T) {
+	shapes := []MatmulConfig{
+		{M: 128, N: 128, K: 128, G: 8, OffChip: true, OffChipEdge: 16}, // the preset's shape
+		{M: 128, N: 128, K: 128, G: 8, OffChip: true, OffChipEdge: 8},  // multi-pass paging
+		{M: 192, N: 192, K: 192, G: 8, OffChip: true, OffChipEdge: 24}, // the paper's 24-wide tiles
+		{M: 64, N: 64, K: 64, G: 4, OffChip: true, OffChipEdge: 8},     // smaller torus, different skew
+		{M: 64, N: 64, K: 64, G: 4},                                    // on-chip lockstep control
+	}
+	for _, base := range shapes {
+		for _, seed := range []uint64{1, 0x9e3779b97f4a7c15, 0xdeadbeef, 424242} {
+			cfg := base
+			cfg.Tuned = true
+			cfg.Verify = true
+			cfg.Seed = seed
+			res := runMM(t, cfg)
+			if d := MaxAbsDiff(res.C, MatmulReference(cfg)); d != 0 {
+				t.Errorf("M=%d G=%d offchip=%v edge=%d seed=%#x: max |diff| vs host reference %g, want 0",
+					cfg.M, cfg.G, cfg.OffChip, cfg.OffChipEdge, seed, d)
+			}
+		}
+	}
 }

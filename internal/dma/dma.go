@@ -220,9 +220,16 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 		panic(fmt.Sprintf("dma: core %d pull from remote chip core %d is not supported on a sharded board", e.core, src.Core))
 	}
 
-	// finish completes a leg whose copy happens on this shard.
+	// finish completes a leg whose copy happens on this shard. When a
+	// chained descriptor follows, the completion event may book mesh
+	// links for the next leg, so it is scheduled booking-gated (see
+	// sim.Shard.AtBooking).
 	finish := func(done sim.Time) {
-		e.sh.At(done, func() {
+		schedule := e.sh.At
+		if d.Chain != nil {
+			schedule = e.sh.AtBooking
+		}
+		schedule(done, func() {
 			e.copyDesc(d, src, dst)
 			ch.moved += uint64(n)
 			if dst.Kind != mem.KindDRAM && e.fab.Notify != nil {
@@ -259,7 +266,7 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 			}
 			sys.At(end, func() {
 				e.copyDesc(d, src, dst)
-				sys.Send(e.sh, end, func() {
+				e.sendChain(sys, d.Chain, end, func() {
 					ch.moved += uint64(n)
 					e.run(ch, d.Chain, end)
 				})
@@ -291,6 +298,19 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 	}
 }
 
+// sendChain posts a chain continuation from the sys shard back to the
+// issuing shard. When another descriptor follows, the continuation may
+// book mesh link occupancy for the next leg, so it is posted
+// booking-gated (see sim.Shard.SendBooking); a chain-terminating
+// completion books nothing and is posted plain.
+func (e *Engine) sendChain(sys *sim.Shard, chain *Desc, t sim.Time, fn func()) {
+	if chain != nil {
+		sys.SendBooking(e.sh, t, fn)
+		return
+	}
+	sys.Send(e.sh, t, fn)
+}
+
 // runCrossPush handles a core-to-core transfer whose destination lives
 // on another chip's shard. The mesh walk and the functional copy run on
 // the sys shard - the walk synchronously at issue time, the copy at
@@ -314,7 +334,7 @@ func (e *Engine) runCrossPush(ch *channel, d *Desc, t sim.Time, src, dst mem.Tar
 					e.fab.Notify(dst.Core)
 				}
 			})
-			sys.Send(e.sh, arrive, func() {
+			e.sendChain(sys, d.Chain, arrive, func() {
 				ch.moved += uint64(n)
 				e.run(ch, d.Chain, arrive)
 			})
@@ -345,7 +365,7 @@ func (e *Engine) runDRAMRead(ch *channel, d *Desc, t sim.Time, src, dst mem.Targ
 					e.fab.Notify(dst.Core)
 				}
 			})
-			sys.Send(e.sh, arrive, func() {
+			e.sendChain(sys, d.Chain, arrive, func() {
 				ch.moved += uint64(n)
 				e.run(ch, d.Chain, arrive)
 			})

@@ -243,11 +243,13 @@ func (m *Mesh) ChipOf(core int) int {
 // AttachShards wires a multi-chip mesh to a sharded engine: shards[i]
 // is the shard owning chip i. Once attached, routes that cross a chip
 // boundary must go through DeliverCross or DeliverSys (Deliver panics
-// on them): chip shards book only their own chip's links inline, and
-// cross-chip walks run on the sys shard, whose rounds are mutually
-// exclusive with every chip round - so it may book any chip's links
-// race-free, at the same virtual times and in the same canonical order
-// as the unsharded engine.
+// on them): chip shards book only their own chip's links inline - gated
+// by sim.Shard.AwaitBookingWindow, so a chip running ahead inside the
+// lookahead window can never book a slot before a lower-keyed cross
+// walk still in flight - and cross-chip walks run on the sys shard,
+// whose rounds are mutually exclusive with every chip round, so it may
+// book any chip's links race-free, at the same virtual times and in the
+// same canonical order as the unsharded engine.
 func (m *Mesh) AttachShards(shards []*sim.Shard) {
 	if len(shards) != len(m.cnt) {
 		panic(fmt.Sprintf("noc: AttachShards with %d shards for %d chips", len(shards), len(m.cnt)))
@@ -292,11 +294,21 @@ func (m *Mesh) Deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 // and DeliverSys/DeliverCross (cross-chip routes, sys context only).
 func (m *Mesh) deliver(t sim.Time, src, dst, n int) (arrive sim.Time) {
 	sr, sc := m.amap.CoreCoords(src)
-	row := &m.cnt[m.chipAt(sr, sc)]
+	srcChip := m.chipAt(sr, sc)
+	row := &m.cnt[srcChip]
 	row.writes++
 	row.bytes += uint64(n)
 	if src == dst || n == 0 {
 		return t
+	}
+	if m.shards != nil {
+		// Link slots are FIFO high-water marks, so bookings must land
+		// in canonical key order. A walk from a chip shard's own
+		// context must therefore wait until no other chip can still
+		// issue a lower-keyed cross-chip walk that routes over this
+		// chip's links; walks executed on sys (and sequential runs)
+		// are ordered already and pass straight through.
+		m.shards[srcChip].AwaitBookingWindow()
 	}
 	dr, dc := m.amap.CoreCoords(dst)
 	ser := LinkSerialization(n)

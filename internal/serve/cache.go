@@ -7,21 +7,37 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"epiphany/internal/sweep"
 )
 
+// EngineVersion names the generation of the simulation engine's frozen
+// golden surface. It participates in cache identity - the in-memory key
+// is namespaced by it and every persisted entry records the version it
+// was simulated under - so a corpus written by an older engine degrades
+// to misses (and is re-simulated and overwritten) instead of being
+// served as current. Bump it whenever a change shifts any golden:
+// schedule, timing model, or energy metering.
+//
+//	"" (absent): through the sharded-engine release, before the
+//	    schemeDouble rotation handshake fix
+//	"2": rotation forward-done handshake + engine booking floor
+const EngineVersion = "2"
+
 // entry is one cached simulation: the cell spec it answers, the power
-// model it was metered under, the deterministic result, and the host
-// wall time the original simulation cost (what a cache hit saves; it
-// feeds the /v1/stats simulated-vs-served accounting, never a response
-// body - response bytes must be identical between the miss that filled
-// the entry and every hit that serves it).
+// model it was metered under, the deterministic result, the host wall
+// time the original simulation cost (what a cache hit saves; it feeds
+// the /v1/stats simulated-vs-served accounting, never a response body -
+// response bytes must be identical between the miss that filled the
+// entry and every hit that serves it), and the engine version that
+// produced it.
 type entry struct {
 	Cell   sweep.Cell       `json:"cell"`
 	Power  string           `json:"power,omitempty"`
 	Result sweep.CellResult `json:"result"`
 	SimNS  int64            `json:"sim_ns"`
+	Engine string           `json:"engine"`
 }
 
 // resultCache is the content-addressed result store: cell fingerprint
@@ -39,6 +55,10 @@ type resultCache struct {
 	dir   string     // "" = memory only
 	order *list.List // front = most recently used; values are *cacheNode
 	items map[string]*list.Element
+
+	// verMiss counts persisted entries rejected because they were
+	// simulated under a different EngineVersion (for /v1/stats).
+	verMiss atomic.Int64
 }
 
 // cacheNode is what order's elements hold.
@@ -62,13 +82,22 @@ func newResultCache(maxEntries int, dir string) (*resultCache, error) {
 	return c, nil
 }
 
+// key namespaces a fingerprint with the engine version for the
+// in-memory map, making the version part of the cache identity proper
+// (a future in-process engine upgrade would orphan, not serve, the old
+// generation's entries).
+func (c *resultCache) key(id string) string { return EngineVersion + ":" + id }
+
 // get returns the entry stored under id. A memory miss falls through
 // to the persistence directory; a disk entry found there is promoted
-// into the in-memory LRU. The returned entry is a copy - callers
-// derive scaling columns on their copies without disturbing the store.
+// into the in-memory LRU - unless it was simulated under a different
+// EngineVersion, in which case it is a counted miss: the cell is
+// re-simulated on the current engine and put overwrites the stale
+// file. The returned entry is a copy - callers derive scaling columns
+// on their copies without disturbing the store.
 func (c *resultCache) get(id string) (entry, bool) {
 	c.mu.Lock()
-	if el, ok := c.items[id]; ok {
+	if el, ok := c.items[c.key(id)]; ok {
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheNode).e
 		c.mu.Unlock()
@@ -88,14 +117,24 @@ func (c *resultCache) get(id string) (entry, bool) {
 		// simulation re-derives the truth and put rewrites the file.
 		return entry{}, false
 	}
+	if e.Engine != EngineVersion {
+		// Count the stale generation once and drop the file: later
+		// lookups are plain misses, and the re-simulation's put writes
+		// the current-version entry in its place.
+		c.verMiss.Add(1)
+		os.Remove(c.file(id))
+		return entry{}, false
+	}
 	c.install(id, e)
 	return e, true
 }
 
-// put stores a successful simulation under its fingerprint, evicting
-// least-recently-used entries past the memory bound and writing
-// through to the persistence directory when one is configured.
+// put stores a successful simulation under its fingerprint, stamping
+// it with the running engine's version, evicting least-recently-used
+// entries past the memory bound and writing through to the persistence
+// directory when one is configured.
 func (c *resultCache) put(id string, e entry) {
+	e.Engine = EngineVersion
 	c.install(id, e)
 	if c.dir != "" {
 		c.persist(id, e)
@@ -105,14 +144,15 @@ func (c *resultCache) put(id string, e entry) {
 // install inserts (or refreshes) the in-memory entry and applies the
 // LRU bound.
 func (c *resultCache) install(id string, e entry) {
+	k := c.key(id)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[id]; ok {
+	if el, ok := c.items[k]; ok {
 		el.Value.(*cacheNode).e = e
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[id] = c.order.PushFront(&cacheNode{id: id, e: e})
+	c.items[k] = c.order.PushFront(&cacheNode{id: k, e: e})
 	for c.order.Len() > c.max {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -165,6 +205,10 @@ func (c *resultCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+// versionMisses reports how many persisted entries were rejected for
+// carrying a different EngineVersion (for /v1/stats).
+func (c *resultCache) versionMisses() int64 { return c.verMiss.Load() }
 
 // planCache remembers normalized sweep plans by their plan fingerprint
 // so GET /v1/sweeps/{id} can re-render a previously submitted sweep

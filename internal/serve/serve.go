@@ -135,6 +135,11 @@ type Stats struct {
 	CacheEntries int   `json:"cache_entries"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
+	// EngineVersion is the golden-surface generation this daemon
+	// simulates (serve.EngineVersion); CacheVersionMisses counts
+	// persisted entries rejected for carrying a different one.
+	EngineVersion      string `json:"engine_version"`
+	CacheVersionMisses int64  `json:"cache_version_misses"`
 	// QueueDepth is the simulation-bearing requests currently admitted
 	// (queued or running), QueueCapacity the 503 threshold.
 	QueueDepth    int `json:"queue_depth"`
@@ -246,17 +251,19 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		CacheEntries:    s.cache.len(),
-		CacheHits:       s.hits.Load(),
-		CacheMisses:     s.misses.Load(),
-		QueueDepth:      len(s.queue),
-		QueueCapacity:   s.cfg.QueueDepth,
-		InFlight:        s.inFlight.Load(),
-		SimulatedWallNS: s.simNS.Load(),
-		ServedWallNS:    s.servedNS.Load(),
-		Draining:        s.draining.Load(),
-		Shards:          s.cfg.Shards,
-		SimWorkers:      max(s.cfg.SimWorkers, 1),
+		CacheEntries:       s.cache.len(),
+		CacheHits:          s.hits.Load(),
+		CacheMisses:        s.misses.Load(),
+		EngineVersion:      EngineVersion,
+		CacheVersionMisses: s.cache.versionMisses(),
+		QueueDepth:         len(s.queue),
+		QueueCapacity:      s.cfg.QueueDepth,
+		InFlight:           s.inFlight.Load(),
+		SimulatedWallNS:    s.simNS.Load(),
+		ServedWallNS:       s.servedNS.Load(),
+		Draining:           s.draining.Load(),
+		Shards:             s.cfg.Shards,
+		SimWorkers:         max(s.cfg.SimWorkers, 1),
 	}
 }
 

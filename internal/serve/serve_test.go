@@ -342,6 +342,72 @@ func TestPersistence(t *testing.T) {
 	}
 }
 
+// TestPersistenceVersionMismatch: a persisted corpus written under an
+// older EngineVersion - e.g. before the schemeDouble rotation-handshake
+// fix shifted the off-chip matmul goldens - must degrade to counted
+// misses, be re-simulated on the current engine, and be overwritten in
+// place, never served.
+func TestPersistenceVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Workload: "stencil-tuned", Topo: "e16"}
+
+	a := newTestServer(t, Config{CacheDir: dir})
+	first := do(t, a, "POST", "/v1/jobs", spec)
+	wantStatus(t, first, http.StatusOK)
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted files %v (err %v), want exactly one", files, err)
+	}
+
+	// Rewrite the entry as a pre-versioning daemon would have written
+	// it: same result, no (empty) engine field.
+	b, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale map[string]json.RawMessage
+	if err := json.Unmarshal(b, &stale); err != nil {
+		t.Fatal(err)
+	}
+	delete(stale, "engine")
+	b, err = json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestServer(t, Config{CacheDir: dir})
+	second := do(t, c, "POST", "/v1/jobs", spec)
+	wantStatus(t, second, http.StatusOK)
+	if got := second.Header().Get("X-Epiphany-Cache"); got != "miss" {
+		t.Fatalf("stale-version entry served as a %s", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("re-simulated body differs - determinism broken")
+	}
+	st := c.Stats()
+	if st.CacheVersionMisses != 1 {
+		t.Errorf("cache_version_misses = %d, want 1", st.CacheVersionMisses)
+	}
+	if st.EngineVersion != EngineVersion {
+		t.Errorf("stats engine_version %q, want %q", st.EngineVersion, EngineVersion)
+	}
+
+	// The miss rewrote the file at the current version: a third daemon
+	// serves it from disk again.
+	d := newTestServer(t, Config{CacheDir: dir})
+	third := do(t, d, "POST", "/v1/jobs", spec)
+	wantStatus(t, third, http.StatusOK)
+	if got := third.Header().Get("X-Epiphany-Cache"); got != "hit" {
+		t.Errorf("rewritten entry missed (%s)", got)
+	}
+	if st := d.Stats(); st.CacheVersionMisses != 0 {
+		t.Errorf("rewritten entry counted as version miss (%d)", st.CacheVersionMisses)
+	}
+}
+
 // TestLRUBound: the in-memory cache never exceeds its entry bound.
 func TestLRUBound(t *testing.T) {
 	s := newTestServer(t, Config{CacheEntries: 2})
@@ -455,6 +521,7 @@ func TestStatsShape(t *testing.T) {
 	body := w.Body.String()
 	for _, field := range []string{
 		`"cache_entries": 1`, `"cache_hits": 1`, `"cache_misses": 1`,
+		`"engine_version": "` + EngineVersion + `"`, `"cache_version_misses": 0`,
 		`"queue_depth"`, `"queue_capacity"`, `"in_flight"`,
 		`"simulated_wall_ns"`, `"served_wall_ns"`, `"draining": false`,
 	} {

@@ -27,6 +27,11 @@ type event struct {
 	kind eventKind
 	proc *Proc
 	fn   func()
+	// mayBook marks an event that may book mesh link occupancy when it
+	// runs (a DMA chain continuation). The parallel scheduler holds such
+	// an event until its key is below the shard's booking floor (see
+	// Shard.AwaitBookingWindow for why bookings need one).
+	mayBook bool
 }
 
 func (ev *event) key() key { return key{t: ev.t, tag: ev.tag, sid: ev.sid, seq: ev.seq} }
@@ -341,31 +346,45 @@ func (e *Engine) runParallel(limit Time) error {
 }
 
 // computeBounds derives each shard's execution window for one round
-// from the frontiers published in phase A.
+// from the frontiers published in phase A: the bound (how far events may
+// execute) and the booking floor (how far order-sensitive link bookings
+// may go - always the key-precise minimum of the other chip frontiers,
+// never lifted, because a cross-chip walk books links at its *issue*
+// key with zero cross-shard latency; see Shard.AwaitBookingWindow).
 func (e *Engine) computeBounds() {
 	L := e.lookahead
 	for _, a := range e.shards {
 		bound := infKey
+		safe := infKey
 		for _, o := range e.shards {
 			if o == a || !o.frontOK {
 				continue
 			}
 			f := o.frontKey
-			if a.id != 0 && o.id != 0 && a.pendingReplies == 0 && L > 0 {
-				// Chip-to-chip interactions carry at least the eLink
-				// crossing lookahead; lift the frontier by L. The
-				// lifted key's sid of -1 makes the window exclusive of
-				// events at exactly t+L.
-				if f.t > ^Time(0)-L {
-					continue // effectively infinite
+			if a.id != 0 && o.id != 0 {
+				// Another chip's unlifted frontier is also the booking
+				// floor: any cross-chip walk that chip may still issue
+				// will carry a key at or above it.
+				if f.less(safe) {
+					safe = f
 				}
-				f = key{t: f.t + L, tag: -1 << 30, sid: -1}
+				if a.pendingReplies == 0 && L > 0 {
+					// Chip-to-chip interactions carry at least the eLink
+					// crossing lookahead; lift the frontier by L. The
+					// lifted key's sid of -1 makes the window exclusive of
+					// events at exactly t+L.
+					if f.t > ^Time(0)-L {
+						continue // effectively infinite
+					}
+					f = key{t: f.t + L, tag: -1 << 30, sid: -1}
+				}
 			}
 			if f.less(bound) {
 				bound = f
 			}
 		}
 		a.bound = bound
+		a.safeKey = safe
 	}
 }
 

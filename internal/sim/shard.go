@@ -52,6 +52,14 @@ func (k key) less(o key) bool {
 // of any core-tagged cross-shard request at the same time.
 const untagged = -1
 
+// bookingRetryTag is the tag of the resume event AwaitBookingWindow
+// schedules when it parks a proc mid-booking. It sorts below untagged,
+// so the parked remainder resumes ahead of every other event at the
+// same instant - the exact schedule position the uninterrupted event
+// occupied. No cross-shard post can ever carry it (posts are untagged
+// or core-tagged), so nothing can slot in front of a parked remainder.
+const bookingRetryTag = -2
+
 // infKey compares greater than every real event key (real shard ids
 // and tags are small ints).
 var infKey = key{t: ^Time(0), tag: 1 << 30, sid: 1 << 30, seq: ^uint64(0)}
@@ -102,11 +110,28 @@ type Shard struct {
 	frontKey key
 	frontOK  bool
 	bound    key
+	// safeKey is the round's booking floor: the key-precise (never
+	// lifted) minimum of the other chip shards' frontiers. Below it no
+	// other chip can still issue a cross-chip mesh walk, so booking
+	// order-sensitive link state is sound; at or above it a booking
+	// must wait (see AwaitBookingWindow). Written by the coordinator
+	// alongside bound.
+	safeKey key
+	// execKey is the key of the event this shard is currently
+	// dispatching, and curProc its proc (nil for callback events). They
+	// let a booking made mid-event locate its own schedule position and
+	// park its proc. Owned by this shard's execution context.
+	execKey key
+	curProc *Proc
 	// posted is set when this shard sent a cross-shard event in the
 	// current round; the shard stops its round at that point (see
 	// phaseB) so no shard ever executes ahead of a post whose
-	// consequences are not yet visible in any frontier.
-	posted bool
+	// consequences are not yet visible in any frontier. stalled is its
+	// booking twin: set when a booking parked its proc this round, it
+	// stops the round so the retry waits for fresh frontiers instead of
+	// spinning on the stale booking floor.
+	posted  bool
+	stalled bool
 }
 
 // Engine returns the engine this shard belongs to.
@@ -187,6 +212,26 @@ func (s *Shard) Send(to *Shard, t Time, fn func()) {
 // schedule-independent key.
 func (s *Shard) SendTagged(to *Shard, t Time, core int, fn func()) {
 	s.post(to, t, int32(core), &event{kind: evCall, fn: fn})
+}
+
+// AtBooking is At for callback events that may book mesh link occupancy
+// when they run (a DMA chain continuation delivering its next
+// descriptor). The parallel scheduler holds such an event - and the
+// shard's round - until its key drops below the booking floor, because
+// a callback cannot park mid-execution the way a proc can (see
+// AwaitBookingWindow). In sequential modes it is exactly At.
+func (s *Shard) AtBooking(t Time, fn func()) {
+	s.assertOwner("AtBooking")
+	if t < s.now {
+		t = s.now
+	}
+	s.schedule(&event{t: t, kind: evCall, fn: fn, mayBook: true})
+}
+
+// SendBooking is Send for cross-shard continuations that may book mesh
+// link occupancy on the target shard. See AtBooking.
+func (s *Shard) SendBooking(to *Shard, t Time, fn func()) {
+	s.post(to, t, untagged, &event{kind: evCall, fn: fn, mayBook: true})
 }
 
 func (s *Shard) post(to *Shard, t Time, tag int32, ev *event) {
@@ -289,6 +334,48 @@ func (s *Shard) ReplyArrived() {
 	s.pendingReplies--
 }
 
+// AwaitBookingWindow delays the caller until booking order-sensitive
+// shared board state at the current execution key is sound under the
+// parallel scheduler; everywhere else (sequential runs, the sys shard,
+// calls from outside a dispatch) it is a no-op.
+//
+// Mesh link occupancy is a FIFO high-water mark per slot, so bookings
+// do not commute: they must happen in canonical key order. Cross-chip
+// walks book on the sys shard at their issue event's key - a zero-
+// latency effect the chip-to-chip lookahead lift knows nothing about.
+// A chip running inside another chip's lifted window could therefore
+// book its local links at a key above a cross walk still in flight to
+// sys, inverting the canonical booking order (and with it arrival
+// times, wake-ups, and poll counts). The cure is a key-precise booking
+// floor: a chip-shard booking proceeds only when its key is below every
+// other chip's unlifted frontier, so any lower-keyed walk is provably
+// already in sys's heap - where the ordinary (never lifted) sys bound
+// orders it ahead of this shard's events. When the floor is not yet
+// met, the event's proc parks and its remainder resumes at the same
+// virtual time in a later round, keyed with bookingRetryTag so nothing
+// else at that instant can overtake it; the executed schedule stays
+// exactly canonical. Callback events cannot park, so events that may
+// book must be scheduled with AtBooking/SendBooking, which phaseB holds
+// whole; a booking from an unmarked callback panics.
+func (s *Shard) AwaitBookingWindow() {
+	if !s.eng.parallel || s.id == 0 || !s.running {
+		return
+	}
+	for !s.execKey.less(s.safeKey) {
+		p := s.curProc
+		if p == nil {
+			panic(fmt.Sprintf("sim: mesh booking from a plain callback on shard %d during a parallel run (schedule it with AtBooking/SendBooking)", s.id))
+		}
+		s.stalled = true
+		p.state = stateWaiting
+		ev := &event{t: s.now, tag: bookingRetryTag, sid: s.id, seq: s.seq, kind: evResume, proc: p}
+		s.seq++
+		heap.Push(&s.heap, ev)
+		s.yield <- struct{}{}
+		p.now = <-p.resume
+	}
+}
+
 // drainInbox moves posted events into the heap. Owner context only.
 func (s *Shard) drainInbox() {
 	s.inboxMu.Lock()
@@ -307,6 +394,8 @@ func (s *Shard) drainInbox() {
 // dispatch runs one event in this shard's context.
 func (s *Shard) dispatch(ev *event) {
 	s.now = ev.t
+	s.execKey = ev.key()
+	s.curProc = ev.proc
 	s.running = true
 	switch ev.kind {
 	case evCall:
@@ -330,6 +419,7 @@ func (s *Shard) dispatch(ev *event) {
 		<-s.yield
 	}
 	s.running = false
+	s.curProc = nil
 }
 
 // phaseA is the first half of a parallel round: drain cross-shard
@@ -337,6 +427,7 @@ func (s *Shard) dispatch(ev *event) {
 func (s *Shard) phaseA() {
 	s.drainInbox()
 	s.posted = false
+	s.stalled = false
 	if len(s.heap) == 0 {
 		s.frontOK = false
 		return
@@ -362,8 +453,15 @@ func (s *Shard) phaseB(limit Time) {
 		if !top.key().less(s.bound) {
 			return
 		}
+		if top.mayBook && !top.key().less(s.safeKey) {
+			// A booking event must not run while another chip can
+			// still issue a lower-keyed cross-chip walk; hold it (and
+			// the round) until the frontiers pass it. See
+			// AwaitBookingWindow.
+			return
+		}
 		s.dispatch(heap.Pop(&s.heap).(*event))
-		if s.posted {
+		if s.posted || s.stalled {
 			return
 		}
 	}
@@ -394,4 +492,5 @@ func (s *Shard) reset() {
 	s.now, s.seq = 0, 0
 	s.rng = nil
 	s.posted = false
+	s.stalled = false
 }

@@ -69,6 +69,45 @@ func TestSendTaggedArbitrationOrder(t *testing.T) {
 	}
 }
 
+// TestBookingOrderAcrossWorkers pins the booking floor: an event that
+// books mesh-link occupancy on a chip shard must not run ahead of a
+// lower-keyed cross-chip walk another chip has yet to hand to sys, even
+// when the lookahead lift would otherwise admit it. Chip 2 issues a
+// cross walk at t=50 (executed on sys); chip 1 books locally at t=100,
+// well inside chip 2's lifted window (lookahead 1000). Canonical order
+// is walk first, and it must hold for every worker count, on both the
+// proc-context (AwaitBookingWindow) and callback-context (AtBooking)
+// paths.
+func TestBookingOrderAcrossWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, viaCallback := range []bool{false, true} {
+			e := newSharded(2, workers, 1000)
+			sys := e.Sys()
+			var order []string
+			e.Shard(2).At(50, func() {
+				e.Shard(2).SendTagged(sys, 50, 7, func() { order = append(order, "walk@50") })
+			})
+			book := func() { order = append(order, "local@100") }
+			if viaCallback {
+				e.Shard(1).AtBooking(100, book)
+			} else {
+				e.Shard(1).SpawnAt(100, "booker", func(p *Proc) {
+					p.Shard().AwaitBookingWindow()
+					book()
+				})
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"walk@50", "local@100"}
+			if !reflect.DeepEqual(order, want) {
+				t.Fatalf("workers=%d viaCallback=%v: order %v, want %v",
+					workers, viaCallback, order, want)
+			}
+		}
+	}
+}
+
 // TestSpawnOnRunsOnTargetShard checks that a proc spawned cross-shard
 // executes in the target shard's context and joins its proc set.
 func TestSpawnOnRunsOnTargetShard(t *testing.T) {

@@ -68,12 +68,13 @@ func ResolvePlan(name string) (NamedPlan, error) {
 // scalingStudyWorkloads is the study's workload axis, frozen
 // statically (not "every registered workload") so future workload
 // registrations cannot silently grow the study grid and drift its
-// golden. It is every built-in except matmul-offchip: the off-chip
-// schemeDouble DMA path has a known ordering race on 8x8-core chip
-// groups (a ROADMAP bug, out of scope here), so it stays excluded from
-// 8x8-chip grids until that is fixed.
+// golden. It is every built-in, including matmul-offchip: the
+// schemeDouble rotation now hands out send credits (flagFwd*) instead
+// of compute-done flags, so the off-chip DMA path is safe on
+// 8x8-core chip groups and the former exclusion is retired.
 var scalingStudyWorkloads = []string{
 	"matmul-cannon",
+	"matmul-offchip",
 	"matmul-single",
 	"matmul-summa",
 	"stencil-cross",
@@ -86,9 +87,9 @@ var scalingStudyWorkloads = []string{
 	"stream-stencil-deep",
 }
 
-// ScalingStudy returns the 1024-core scaling study plan: the
-// TopologyFitter-clamped workload suite (minus the racy off-chip
-// matmul) swept from the paper's devices out to an Epiphany-V-class
+// ScalingStudy returns the 1024-core scaling study plan: the full
+// TopologyFitter-clamped workload suite swept from the paper's
+// devices out to an Epiphany-V-class
 // 1024-core mesh, with the 28nm power model attached at its nominal
 // operating point so the derived table carries energy and GFLOPS/W
 // next to speedup, parallel efficiency and crossing share. Normalize

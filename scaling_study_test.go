@@ -1,9 +1,9 @@
 package epiphany_test
 
 // The 1024-core scaling study acceptance harness. The registered
-// "scaling-1024" plan sweeps the workload suite (minus the off-chip
-// matmul, excluded from 8x8-chip grids until a known DMA-ordering race
-// is fixed) from the paper's e16 out to an Epiphany-V-class
+// "scaling-1024" plan sweeps the full workload suite - including the
+// off-chip matmul, re-admitted once the schemeDouble rotation got its
+// send-credit handshake - from the paper's e16 out to an Epiphany-V-class
 // grid=4x4/chip=8x8 mesh, with the 28nm power model attached. The
 // e16 -> e64 -> cluster-2x2 prefix of the derived table is pinned bit
 // for bit to testdata/scaling_study_golden.csv (regenerate with
@@ -34,7 +34,7 @@ func studyPlan(t *testing.T) epiphany.SweepPlan {
 }
 
 // TestScalingStudyGolden pins the study's paper-device prefix (the
-// three presets, 33 cells) to the golden CSV, bit for bit.
+// three presets, 36 cells) to the golden CSV, bit for bit.
 func TestScalingStudyGolden(t *testing.T) {
 	plan := studyPlan(t)
 	plan.Topos = plan.Topos[:3] // e16, e64, cluster-2x2 - the preset prefix
@@ -65,12 +65,13 @@ func TestScalingStudy1024(t *testing.T) {
 		t.Fatal(err)
 	}
 	topoCores := map[string]bool{}
+	offchipCells := 0
 	for _, c := range res.Cells {
 		if c.Err != "" {
 			t.Errorf("cell %s/%s failed: %s", c.Workload, c.Topology, c.Err)
 		}
 		if c.Workload == "matmul-offchip" {
-			t.Errorf("matmul-offchip is on the study grid; it is excluded until the off-chip DMA race is fixed")
+			offchipCells++
 		}
 		if c.Topology == "e16" && (c.Speedup != 1 || c.Efficiency != 1) {
 			t.Errorf("baseline cell %s: speedup=%v efficiency=%v, want exactly 1", c.Workload, c.Speedup, c.Efficiency)
@@ -84,6 +85,11 @@ func TestScalingStudy1024(t *testing.T) {
 		if !topoCores[key] {
 			t.Errorf("study axis lacks %s; got %v", key, res.Plan.Topos)
 		}
+	}
+	// The off-chip matmul is back on the grid - one cell per topology -
+	// now that the schemeDouble rotation race is fixed.
+	if want := len(res.Plan.Topos); offchipCells != want {
+		t.Errorf("matmul-offchip appears in %d cells, want %d (one per topology)", offchipCells, want)
 	}
 	// The chip-spanning streaming stencils must pay c2c boundaries on
 	// the 1024-core board.
