@@ -16,10 +16,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -39,10 +41,14 @@ func main() {
 	topo := flag.String("topo", "", `fabric topology for -workloads: a preset ("e16", "e64", "cluster-2x2"), a mesh ("4x8") or a chip grid ("grid=4x4/chip=8x8", "cluster-4x4", "e64x16"), optionally with "/c2c=BYTE:HOP" and/or "/shards=N"`)
 	powerModel := flag.String("power", "", `power-model preset for -workloads energy columns (e.g. "epiphany-iv-28nm"; defaults to it when -dvfs is given)`)
 	dvfs := flag.String("dvfs", "", `DVFS operating point for -workloads, "FREQ[MHz]@VOLT[V]" (requires/implies -power)`)
+	traceFile := flag.String("trace", "", `write each -workloads run's activity and link heatmaps to FILE (several workloads: FILE's name gains a -<workload> suffix per run)`)
+	timelineFile := flag.String("timeline", "", `write each -workloads run as a Perfetto / Chrome trace-event JSON timeline to FILE (several workloads: a -<workload> suffix per run); open in ui.perfetto.dev`)
+	engineStats := flag.Bool("engine-stats", false, "print the event engine's scheduler counters (per-shard events, barrier rounds, sys-shard share) after the -workloads table")
+	simWorkers := flag.Int("sim-workers", 1, "goroutines driving each board's shards for -workloads (1 = sequential; metrics are identical for every value, like epiphany-serve's -sim-workers)")
 	flag.Parse()
 
-	if (*topo != "" || *powerModel != "" || *dvfs != "") && *workloads == "" {
-		fmt.Fprintln(os.Stderr, "-topo/-power/-dvfs only apply to -workloads; the paper experiments are defined on the default board")
+	if (*topo != "" || *powerModel != "" || *dvfs != "" || *traceFile != "" || *timelineFile != "" || *engineStats || *simWorkers != 1) && *workloads == "" {
+		fmt.Fprintln(os.Stderr, "-topo/-power/-dvfs/-trace/-timeline/-engine-stats only apply to -workloads; the paper experiments are defined on the default board")
 		os.Exit(2)
 	}
 	if *dvfs != "" && *powerModel == "" {
@@ -91,7 +97,7 @@ func main() {
 			fmt.Printf("  %s: nominal %s, ladder %v\n", name, m.Nominal, m.Points)
 		}
 	case *workloads != "":
-		runWorkloads(*workloads, *jobs, *topo, *powerModel, *dvfs)
+		runWorkloads(*workloads, *jobs, *topo, *powerModel, *dvfs, *traceFile, *timelineFile, *engineStats, *simWorkers)
 	case *run != "":
 		e, ok := bench.ByName(*run)
 		if !ok {
@@ -124,8 +130,9 @@ func main() {
 // runWorkloads resolves the selection against the registry and executes
 // it as one concurrent batch, each job on its own fresh System built on
 // the selected topology, with energy columns when a power model is
-// attached.
-func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
+// attached. Heatmap traces and Perfetto timelines are captured per job
+// into memory (jobs run concurrently) and written out after the batch.
+func runWorkloads(sel string, workers int, topoName, powerModel, dvfs, traceFile, timelineFile string, engineStats bool, simWorkers int) {
 	var ws []epiphany.Workload
 	if sel == "all" {
 		ws = epiphany.Workloads()
@@ -157,8 +164,28 @@ func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 	if powerModel != "" {
 		runner.Options = append(runner.Options, epiphany.WithPowerModel(powerModel, dvfs))
 	}
+	if engineStats {
+		runner.Options = append(runner.Options, epiphany.WithEngineStats())
+	}
+	if simWorkers > 1 {
+		runner.Options = append(runner.Options, epiphany.WithWorkers(simWorkers))
+	}
+	jobs := make([]epiphany.Job, len(ws))
+	traces := make([]*bytes.Buffer, len(ws))
+	timelines := make([]*bytes.Buffer, len(ws))
+	for i, w := range ws {
+		jobs[i] = epiphany.Job{Workload: w}
+		if traceFile != "" {
+			traces[i] = &bytes.Buffer{}
+			jobs[i].Options = append(jobs[i].Options, epiphany.WithTrace(traces[i]))
+		}
+		if timelineFile != "" {
+			timelines[i] = &bytes.Buffer{}
+			jobs[i].Options = append(jobs[i].Options, epiphany.WithTimeline(timelines[i]))
+		}
+	}
 	start := time.Now()
-	batch, err := runner.RunWorkloads(context.Background(), ws...)
+	batch, err := runner.RunBatch(context.Background(), jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -191,16 +218,53 @@ func runWorkloads(sel string, workers int, topoName, powerModel, dvfs string) {
 		}
 		fmt.Println()
 	}
+	if engineStats {
+		for _, jr := range batch.Results {
+			if jr.Err != nil {
+				continue
+			}
+			if st := jr.Result.Metrics().Engine; st != nil {
+				fmt.Printf("\n%s %s", jr.Name, st)
+			}
+		}
+	}
 	if powerModel != "" {
 		// Both resolved successfully in main before the batch ran.
 		m, _ := epiphany.PowerModelByName(powerModel)
 		op, _ := m.Point(dvfs)
 		fmt.Printf("[power model %s at %s]\n", powerModel, op)
 	}
+	writeCaptures(traceFile, "trace", traces, batch)
+	writeCaptures(timelineFile, "timeline", timelines, batch)
 	fmt.Printf("[%d workloads in %v wall clock]\n", len(batch.Results), time.Since(start).Round(time.Millisecond))
 	if err := batch.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// writeCaptures flushes per-job capture buffers to disk: to base itself
+// for a single workload, or with a -<workload> name suffix each when
+// the batch ran several.
+func writeCaptures(base, what string, bufs []*bytes.Buffer, batch *epiphany.BatchResult) {
+	if base == "" {
+		return
+	}
+	for i, buf := range bufs {
+		jr := batch.Results[i]
+		if buf == nil || jr.Err != nil {
+			continue
+		}
+		path := base
+		if len(bufs) > 1 {
+			ext := filepath.Ext(base)
+			path = strings.TrimSuffix(base, ext) + "-" + jr.Name + ext
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s written to %s]\n", what, path)
 	}
 }
 

@@ -14,6 +14,7 @@
 //	    -d '{"workloads":["stencil-tuned"],"topos":[{"preset":"e16"},{"spec":"grid=2x2/chip=8x8"}]}'
 //	curl -s localhost:8080/v1/plans
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
 //
 // SIGINT/SIGTERM drains gracefully: new submissions get 503 (and
 // /v1/healthz fails, so load balancers stop routing) while in-flight
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,6 +48,7 @@ func main() {
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
 		shards  = flag.Int("shards", 0, "event-engine partition per board: 0 = one shard per chip, 1 = single heap (results are bit-identical either way)")
 		simwork = flag.Int("sim-workers", 1, "goroutines driving each board's shards (composes with -workers)")
+		access  = flag.Bool("access-log", true, "log one structured line per request (route, status, stage times, result fingerprint)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -54,6 +57,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	var logger *slog.Logger
+	if *access {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	s, err := serve.NewServer(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -62,6 +69,7 @@ func main() {
 		RequestTimeout: *timeout,
 		Shards:         *shards,
 		SimWorkers:     *simwork,
+		Logger:         logger,
 	})
 	if err != nil {
 		log.Fatalf("epiphany-serve: %v", err)

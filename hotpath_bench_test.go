@@ -2,6 +2,7 @@ package epiphany
 
 import (
 	"context"
+	"io"
 	"testing"
 )
 
@@ -25,6 +26,23 @@ func BenchmarkRunBatch12(b *testing.B) {
 // with no extra allocations beyond the one decorated result per job.
 func BenchmarkRunBatch12Energy(b *testing.B) {
 	benchRunBatch12(b, []Option{WithPowerModel("epiphany-iv-28nm", "")})
+}
+
+// BenchmarkRunBatch12Timeline is the observability-tax variant: the
+// same batch with a Timeline recording every core span, DMA leg and
+// crossing into io.Discard. This prices the recorder hooks when armed;
+// the nil-recorder cost (hooks present but disabled, the default every
+// other benchmark pays) is budgeted at <= 1% against the BENCH_9
+// baseline and read off BenchmarkRunBatch12 itself in BENCH_10.json.
+func BenchmarkRunBatch12Timeline(b *testing.B) {
+	benchRunBatch12(b, []Option{WithTimeline(io.Discard)})
+}
+
+// BenchmarkRunBatch12EngineStats adds the scheduler-counter snapshot to
+// every job - one Stats() walk over the shards per run plus the
+// decorated result, with the counters themselves accruing always.
+func BenchmarkRunBatch12EngineStats(b *testing.B) {
+	benchRunBatch12(b, []Option{WithEngineStats()})
 }
 
 func benchRunBatch12(b *testing.B, opts []Option) {

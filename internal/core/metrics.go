@@ -57,6 +57,13 @@ type Metrics struct {
 	EDPJs         float64
 	// Energy is the per-component breakdown of EnergyJ.
 	Energy power.Breakdown
+
+	// Engine holds the event engine's scheduler counters when the run
+	// requested them (WithEngineStats) and is nil otherwise. A pointer,
+	// and omitted from JSON when nil, so the default Metrics - and every
+	// golden, cached response and struct-equality comparison built on it
+	// - is unchanged by the field's existence.
+	Engine *sim.EngineStats `json:"Engine,omitempty"`
 }
 
 // NoCStats is the interconnect summary captured from the mesh after a

@@ -36,6 +36,11 @@ type Fabric struct {
 	// ShardOf maps core index -> owning shard on a sharded multi-chip
 	// board; nil when the whole board runs on the sys shard.
 	ShardOf []*sim.Shard
+	// Rec, when non-nil, observes core activity and DMA transfers for
+	// timeline export. Attached per run (trace.Timeline.Attach), cleared
+	// by Reset; every use sits behind a nil check so the unmetered path
+	// is untouched. Implementations must be concurrency-safe.
+	Rec noc.Recorder
 	// readBytes counts the bytes booked on the read direction of the
 	// off-chip link - counted here, at the single booking site, rather
 	// than inferred from the resource's busy time, so the energy term
@@ -74,6 +79,7 @@ func (f *Fabric) Reset() {
 	f.ELink.Reset()
 	f.ELinkRead.Reset()
 	f.readBytes = 0
+	f.Rec = nil
 	for _, s := range f.SRAMs {
 		s.Reset()
 	}
@@ -251,6 +257,7 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 				if min := t + pace; end < min {
 					end = min
 				}
+				e.record("dram-write", t, end, n)
 				finish(end)
 			})
 			return
@@ -264,6 +271,7 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 			if min := t + pace; end < min {
 				end = min
 			}
+			e.record("dram-write", t, end, n)
 			sys.At(end, func() {
 				e.copyDesc(d, src, dst)
 				e.sendChain(sys, d.Chain, end, func() {
@@ -280,6 +288,7 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 			if min := t + pace; arrive < min {
 				arrive = min
 			}
+			e.record("dram-read", t, arrive, n)
 			finish(arrive)
 			return
 		}
@@ -294,7 +303,16 @@ func (e *Engine) run(ch *channel, d *Desc, t sim.Time) {
 		if min := t + pace; arrive < min {
 			arrive = min
 		}
+		e.record("mesh", t, arrive, n)
 		finish(arrive)
+	}
+}
+
+// record reports one transfer leg to the attached timeline recorder, if
+// any. Safe from any shard context (recorders are concurrency-safe).
+func (e *Engine) record(kind string, start, end sim.Time, n int) {
+	if r := e.fab.Rec; r != nil {
+		r.DMATransfer(e.core, kind, start, end, n)
 	}
 }
 
@@ -327,6 +345,7 @@ func (e *Engine) runCrossPush(ch *channel, d *Desc, t sim.Time, src, dst mem.Tar
 		if min := t + pace; arrive < min {
 			arrive = min
 		}
+		e.record("mesh-x", t, arrive, n)
 		sys.At(arrive, func() {
 			e.copyDesc(d, src, dst)
 			sys.Send(dstSh, arrive, func() {
@@ -358,6 +377,7 @@ func (e *Engine) runDRAMRead(ch *channel, d *Desc, t sim.Time, src, dst mem.Targ
 		if min := t + pace; arrive < min {
 			arrive = min
 		}
+		e.record("dram-read", t, arrive, n)
 		sys.At(arrive, func() {
 			e.copyDesc(d, src, dst)
 			sys.Send(dstSh, arrive, func() {

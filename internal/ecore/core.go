@@ -104,8 +104,13 @@ func (c *Core) GlobalOn(row, col int, off mem.Addr) mem.Addr {
 // flops floating-point operations (tracked for GFLOPS accounting).
 func (c *Core) Compute(cycles uint64, flops uint64) {
 	c.flops += flops
-	c.computeTime += sim.Cycles(cycles)
-	c.Proc().Wait(sim.Cycles(cycles))
+	d := sim.Cycles(cycles)
+	c.computeTime += d
+	if r := c.chip.fab.Rec; r != nil && d > 0 {
+		now := c.Proc().Now()
+		r.CoreSpan(c.idx, noc.ActCompute, now, now+d)
+	}
+	c.Proc().Wait(d)
 }
 
 // Flops returns the floating-point operations the core has performed.
@@ -237,6 +242,9 @@ func (c *Core) WaitLocal32GE(off mem.Addr, v uint32) {
 	}
 	p.Wait(PollDetectCost)
 	c.flagWaitTime += p.Now() - start
+	if r := c.chip.fab.Rec; r != nil {
+		r.CoreSpan(c.idx, noc.ActFlagSpin, start, p.Now())
+	}
 }
 
 // WaitLocal32 spins until the local word at off equals v exactly.
@@ -248,6 +256,9 @@ func (c *Core) WaitLocal32(off mem.Addr, v uint32) {
 	}
 	p.Wait(PollDetectCost)
 	c.flagWaitTime += p.Now() - start
+	if r := c.chip.fab.Rec; r != nil {
+		r.CoreSpan(c.idx, noc.ActFlagSpin, start, p.Now())
+	}
 }
 
 // --- DMA (e_dma_set_desc / e_dma_start / e_dma_wait). ---
@@ -269,9 +280,13 @@ func (c *Core) DMAStart(ch dma.Chan, d *dma.Desc) {
 
 // DMAWait blocks until the channel's chain completes (e_dma_wait).
 func (c *Core) DMAWait(ch dma.Chan) {
-	start := c.Proc().Now()
-	c.dma.Wait(c.Proc(), ch)
-	c.dmaWaitTime += c.Proc().Now() - start
+	p := c.Proc()
+	start := p.Now()
+	c.dma.Wait(p, ch)
+	c.dmaWaitTime += p.Now() - start
+	if r := c.chip.fab.Rec; r != nil && p.Now() > start {
+		r.CoreSpan(c.idx, noc.ActDMAWait, start, p.Now())
+	}
 }
 
 // Activity returns the core's accumulated time by category: modelled

@@ -92,6 +92,9 @@ type Mesh struct {
 	// multi-chip board to a sharded engine; nil on single-chip boards
 	// and unsharded engines, where Deliver handles every route inline.
 	shards []*sim.Shard
+	// rec, when non-nil, observes eLink crossings for timeline export;
+	// attached per run via SetRecorder and cleared by Reset.
+	rec Recorder
 }
 
 // meshCnt is one chip's slice of the mesh statistics. See the Mesh
@@ -174,7 +177,13 @@ func (m *Mesh) Reset() {
 	clear(m.links)
 	m.errata0 = false
 	clear(m.cnt)
+	m.rec = nil
 }
+
+// SetRecorder attaches (or with nil, detaches) a timeline recorder for
+// chip-to-chip crossings. Attach before a run; recycled boards drop the
+// recorder on Reset.
+func (m *Mesh) SetRecorder(r Recorder) { m.rec = r }
 
 // Rows returns the mesh height.
 func (m *Mesh) Rows() int { return m.rows }
@@ -219,6 +228,9 @@ func (m *Mesh) hop(row *meshCnt, slot int32, cur, ser, serX sim.Time, n int) (si
 		row.crossings++
 		row.crossBytes += uint64(n)
 		row.crossTime += next - cur
+		if m.rec != nil {
+			m.rec.ELinkCross(int(slot-m.crossBase), cur, next, n)
+		}
 		return next, true
 	}
 	ls.freeAt = begin + ser

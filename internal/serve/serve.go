@@ -20,8 +20,11 @@
 //	GET  /v1/plans         registered sweep plans (POST one to /v1/sweeps)
 //	GET  /v1/powermodels   power-model presets and their DVFS ladders
 //	GET  /v1/stats         cache hit/miss counts, queue depth, in-flight jobs,
-//	                       cumulative simulated-vs-served wall time
+//	                       cumulative simulated-vs-served wall time, uptime,
+//	                       per-endpoint request counts
 //	GET  /v1/healthz       liveness (503 once draining)
+//	GET  /metrics          the same counters in Prometheus text exposition
+//	                       format, plus request-stage latency histograms
 //
 // ?format=ndjson streams sweep rows as cells complete (one JSON object
 // per line, grid order, derived columns included); the other formats
@@ -36,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -84,6 +88,11 @@ type Config struct {
 	// (<= 1 means sequential). Composes with Workers: up to
 	// Workers x SimWorkers simulation goroutines.
 	SimWorkers int
+	// Logger, when non-nil, receives one structured access-log line per
+	// request: method, matched route, status, stage durations, and the
+	// content address (job or sweep fingerprint) the request resolved
+	// to. Nil disables access logging; metrics are collected either way.
+	Logger *slog.Logger
 }
 
 // withDefaults resolves the zero knobs.
@@ -118,6 +127,9 @@ type Server struct {
 	sweeps *planCache
 	queue  chan struct{} // admission slots for simulation-bearing requests
 	work   chan struct{} // concurrency slots for individual simulations
+
+	metrics *httpMetrics
+	logger  *slog.Logger
 
 	draining atomic.Bool
 	hits     atomic.Int64
@@ -158,6 +170,13 @@ type Stats struct {
 	// board's shards. Neither affects results, only execution layout.
 	Shards     int `json:"shards"`
 	SimWorkers int `json:"sim_workers"`
+	// UptimeS is seconds since the daemon started.
+	UptimeS float64 `json:"uptime_s"`
+	// Requests counts served requests by matched route and status code
+	// (endpoint -> code -> count), the same numbers GET /metrics exposes
+	// as epiphany_http_requests_total. Omitted until the first request
+	// completes.
+	Requests map[string]map[string]int64 `json:"requests,omitempty"`
 }
 
 // JobSpec is the POST /v1/jobs request body: one cell of the
@@ -214,13 +233,15 @@ func NewServer(cfg Config) (*Server, error) {
 		base = append(base, workload.WithWorkers(cfg.SimWorkers))
 	}
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		runner: &workload.Runner{Workers: cfg.Workers, Options: base},
-		cache:  cache,
-		sweeps: newPlanCache(sweepIDCacheEntries),
-		queue:  make(chan struct{}, cfg.QueueDepth),
-		work:   make(chan struct{}, cfg.Workers),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		runner:  &workload.Runner{Workers: cfg.Workers, Options: base},
+		cache:   cache,
+		sweeps:  newPlanCache(sweepIDCacheEntries),
+		queue:   make(chan struct{}, cfg.QueueDepth),
+		work:    make(chan struct{}, cfg.Workers),
+		metrics: newHTTPMetrics(),
+		logger:  cfg.Logger,
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -232,11 +253,86 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/powermodels", s.handlePowerModels)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for the request metrics and
+// access log. It always satisfies http.Flusher - streamSweep's ndjson
+// path asserts for it - delegating when the underlying writer can
+// flush and no-opping otherwise.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP implements http.Handler: every request runs through the
+// observability middleware - a reqStats in the context collects the
+// queue and simulate stage times as the handlers run, the remainder is
+// attributed to render - then lands in the matched route's counter and
+// the stage histograms, and emits one access-log line when the server
+// has a logger.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rs := &reqStats{}
+	r = r.WithContext(withReqStats(r.Context(), rs))
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+
+	// The mux sets r.Pattern on match (it mutates the request we passed,
+	// so the middleware sees it); an unmatched request keeps its own
+	// label rather than exploding counter cardinality with raw paths.
+	endpoint := r.Pattern
+	if endpoint == "" {
+		endpoint = "unmatched"
+	}
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK // handler never wrote; Go sends 200
+	}
+	total := time.Since(start)
+	queue := time.Duration(rs.queueNS.Load())
+	simulate := time.Duration(rs.simNS.Load())
+	// Render is the remainder. Parallel sweep cells can accumulate more
+	// queue+simulate time than the request's wall clock, so clamp.
+	render := max(total-queue-simulate, 0)
+	s.metrics.observe(endpoint, strconv.Itoa(code), queue, simulate, render)
+	if s.logger != nil {
+		attrs := []any{
+			"method", r.Method,
+			"route", endpoint,
+			"path", r.URL.Path,
+			"status", code,
+			"total", total,
+			"queue", queue,
+			"simulate", simulate,
+		}
+		if id := rs.getFingerprint(); id != "" {
+			attrs = append(attrs, "id", id)
+		}
+		s.logger.Info("request", attrs...)
+	}
+}
 
 // Drain flips the service into shutdown mode: job and sweep
 // submissions are refused with 503 (read endpoints keep answering, so
@@ -264,6 +360,8 @@ func (s *Server) Stats() Stats {
 		Draining:           s.draining.Load(),
 		Shards:             s.cfg.Shards,
 		SimWorkers:         max(s.cfg.SimWorkers, 1),
+		UptimeS:            s.metrics.uptime().Seconds(),
+		Requests:           s.metrics.requestCounts(),
 	}
 }
 
@@ -304,6 +402,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := plan.CellFingerprint(cell)
+	reqStatsFrom(r.Context()).setFingerprint(id)
 
 	if e, ok := s.cache.get(id); ok {
 		s.hits.Add(1)
@@ -340,6 +439,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	reqStatsFrom(r.Context()).setFingerprint(id)
 	e, ok := s.cache.get(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("epiphany: no cached result under id %q", id))
@@ -388,9 +488,13 @@ func (s *Server) cellResult(ctx context.Context, p sweep.Plan, c sweep.Cell, id 
 		return e.Result, true
 	}
 	s.misses.Add(1)
+	rs := reqStatsFrom(ctx)
+	qstart := time.Now()
 	select {
 	case s.work <- struct{}{}:
+		rs.addQueue(time.Since(qstart))
 	case <-ctx.Done():
+		rs.addQueue(time.Since(qstart))
 		return failedCell(c, ctx.Err()), false
 	}
 	defer func() { <-s.work }()
@@ -405,6 +509,7 @@ func (s *Server) cellResult(ctx context.Context, p sweep.Plan, c sweep.Cell, id 
 	jr := s.runner.RunJob(ctx, job)
 	simNS := time.Since(start).Nanoseconds()
 	s.simNS.Add(simNS)
+	rs.addSim(simNS)
 	res := sweep.NewCellResult(c, cores, jr)
 	if res.Err == "" {
 		s.cache.put(id, entry{Cell: c, Power: p.Power, Result: res, SimNS: simNS})
@@ -467,6 +572,7 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 // ndjson streams one derived row per cell in grid order as cells
 // complete.
 func (s *Server) runSweep(w http.ResponseWriter, r *http.Request, n sweep.Plan, id string) {
+	reqStatsFrom(r.Context()).setFingerprint(id)
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "json"
@@ -692,6 +798,13 @@ func (s *Server) handlePowerModels(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition: the Stats
+// counters plus the request counter and stage histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

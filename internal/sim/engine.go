@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // eventKind discriminates heap entries.
@@ -82,6 +83,13 @@ type Engine struct {
 	err     error
 	failed  atomic.Bool // mirrors err != nil, checkable without a lock
 	stopped atomic.Bool
+
+	// Parallel-scheduler counters (see EngineStats) and the optional
+	// per-round observer. All touched only by the coordinator goroutine
+	// strictly between round barriers.
+	rounds             uint64
+	phaseANS, phaseBNS int64
+	roundHook          func(round uint64, start, end Time)
 }
 
 // NewEngine returns an empty single-shard engine at virtual time zero.
@@ -314,7 +322,9 @@ func (e *Engine) runParallel(limit Time) error {
 	}
 
 	for {
+		t0 := time.Now()
 		phase(0)
+		e.phaseANS += time.Since(t0).Nanoseconds()
 		if e.failed.Load() {
 			return e.err
 		}
@@ -338,9 +348,26 @@ func (e *Engine) runParallel(limit Time) error {
 			return e.err
 		}
 		e.computeBounds()
+		t0 = time.Now()
 		phase(1)
+		e.phaseBNS += time.Since(t0).Nanoseconds()
+		round := e.rounds
+		e.rounds++
 		if e.failed.Load() {
 			return e.err
+		}
+		if e.roundHook != nil {
+			// The round's span: from the minimum frontier it started at
+			// to the highest shard time it reached. At least the
+			// minimum-keyed event always executes (its bound derives
+			// from strictly greater frontiers), so end >= start.
+			end := Time(0)
+			for _, s := range e.shards {
+				if s.now > end {
+					end = s.now
+				}
+			}
+			e.roundHook(round, minT, end)
 		}
 	}
 }
@@ -423,6 +450,8 @@ func (e *Engine) Reset() error {
 	e.err = nil
 	e.failed.Store(false)
 	e.stopped.Store(false)
+	e.rounds, e.phaseANS, e.phaseBNS = 0, 0, 0
+	e.roundHook = nil
 	return nil
 }
 
@@ -452,11 +481,7 @@ func (e *Engine) deadlockError() error {
 	}
 	marks := make([]string, len(e.shards))
 	for i, s := range e.shards {
-		label := "sys"
-		if s.id > 0 {
-			label = fmt.Sprintf("chip%d", s.id-1)
-		}
-		marks[i] = fmt.Sprintf("%s@t=%v", label, s.now)
+		marks[i] = fmt.Sprintf("%s@t=%v", shardLabel(s.id), s.now)
 	}
 	return fmt.Errorf("sim: deadlock at t=%v: %d proc(s) blocked forever: %v (shard low-water marks: %v)",
 		e.Now(), e.totalBlocked(), names, marks)

@@ -132,6 +132,19 @@ type Shard struct {
 	// spinning on the stale booking floor.
 	posted  bool
 	stalled bool
+
+	// Scheduler counters, snapshotted by Engine.Stats (see ShardStats).
+	// Each is a single increment on a path that already does real work,
+	// so they are unconditionally on. Written only from this shard's
+	// execution context (or single-threaded engine code); read between
+	// runs.
+	nEvents      uint64
+	heapPeak     int
+	crossPosts   uint64
+	taggedPosts  uint64
+	bookingParks uint64
+	heldByBound  uint64
+	heldByFloor  uint64
 }
 
 // Engine returns the engine this shard belongs to.
@@ -176,6 +189,14 @@ func (s *Shard) schedule(ev *event) {
 	ev.seq = s.seq
 	s.seq++
 	heap.Push(&s.heap, ev)
+	s.notePeak()
+}
+
+// notePeak records the heap high-water mark; call after any push.
+func (s *Shard) notePeak() {
+	if n := len(s.heap); n > s.heapPeak {
+		s.heapPeak = n
+	}
 }
 
 // At schedules fn to run inline on this shard at absolute time t (or at
@@ -252,6 +273,10 @@ func (s *Shard) post(to *Shard, t Time, tag int32, ev *event) {
 	ev.sid = s.id
 	ev.seq = s.seq
 	s.seq++
+	s.crossPosts++
+	if tag != untagged {
+		s.taggedPosts++
+	}
 	if s.eng.parallel {
 		s.posted = true
 		to.inboxMu.Lock()
@@ -259,7 +284,10 @@ func (s *Shard) post(to *Shard, t Time, tag int32, ev *event) {
 		to.inboxMu.Unlock()
 		return
 	}
+	// Sequential modes run shards on one goroutine, so writing the
+	// receiver's heap (and peak) directly is safe.
 	heap.Push(&to.heap, ev)
+	to.notePeak()
 }
 
 // assertRunningFor panics when cross-shard work is posted from outside
@@ -366,11 +394,13 @@ func (s *Shard) AwaitBookingWindow() {
 		if p == nil {
 			panic(fmt.Sprintf("sim: mesh booking from a plain callback on shard %d during a parallel run (schedule it with AtBooking/SendBooking)", s.id))
 		}
+		s.bookingParks++
 		s.stalled = true
 		p.state = stateWaiting
 		ev := &event{t: s.now, tag: bookingRetryTag, sid: s.id, seq: s.seq, kind: evResume, proc: p}
 		s.seq++
 		heap.Push(&s.heap, ev)
+		s.notePeak()
 		s.yield <- struct{}{}
 		p.now = <-p.resume
 	}
@@ -389,10 +419,12 @@ func (s *Shard) drainInbox() {
 		}
 		heap.Push(&s.heap, ev)
 	}
+	s.notePeak()
 }
 
 // dispatch runs one event in this shard's context.
 func (s *Shard) dispatch(ev *event) {
+	s.nEvents++
 	s.now = ev.t
 	s.execKey = ev.key()
 	s.curProc = ev.proc
@@ -451,6 +483,7 @@ func (s *Shard) phaseB(limit Time) {
 			return
 		}
 		if !top.key().less(s.bound) {
+			s.heldByBound++
 			return
 		}
 		if top.mayBook && !top.key().less(s.safeKey) {
@@ -458,6 +491,7 @@ func (s *Shard) phaseB(limit Time) {
 			// still issue a lower-keyed cross-chip walk; hold it (and
 			// the round) until the frontiers pass it. See
 			// AwaitBookingWindow.
+			s.heldByFloor++
 			return
 		}
 		s.dispatch(heap.Pop(&s.heap).(*event))
@@ -493,4 +527,7 @@ func (s *Shard) reset() {
 	s.rng = nil
 	s.posted = false
 	s.stalled = false
+	s.nEvents, s.crossPosts, s.taggedPosts = 0, 0, 0
+	s.bookingParks, s.heldByBound, s.heldByFloor = 0, 0, 0
+	s.heapPeak = 0
 }

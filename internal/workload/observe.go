@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"epiphany/internal/system"
+)
+
+// statsResult decorates a workload's Result with the engine's scheduler
+// counters, the same shape as energyResult: the underlying result stays
+// reachable through Unwrap.
+type statsResult struct {
+	Result
+	metrics Metrics
+}
+
+// Metrics reports the inner result's metrics with Engine filled in.
+func (r *statsResult) Metrics() Metrics { return r.metrics }
+
+// Unwrap returns the undecorated result.
+func (r *statsResult) Unwrap() Result { return r.Result }
+
+// attachEngineStats snapshots the engine's scheduler counters into the
+// result's Metrics.Engine. It must run before the System is reset or
+// recycled (the counters are engine state).
+func attachEngineStats(res Result, sys *system.System) Result {
+	st := sys.Engine().Stats()
+	m := res.Metrics()
+	m.Engine = &st
+	return &statsResult{Result: res, metrics: m}
+}

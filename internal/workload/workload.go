@@ -71,13 +71,15 @@ type TopologyFitter interface {
 // them into it, so WithPowerModel composes with WithTopology in either
 // order.
 type runConfig struct {
-	topo    system.Topology
-	seed    *uint64
-	trace   io.Writer
-	power   string
-	dvfs    string
-	shards  *int
-	workers int
+	topo        system.Topology
+	seed        *uint64
+	trace       io.Writer
+	timeline    io.Writer
+	engineStats bool
+	power       string
+	dvfs        string
+	shards      *int
+	workers     int
 }
 
 // Option configures how Run (and Runner) executes a workload.
@@ -132,6 +134,28 @@ func WithSeed(seed uint64) Option {
 // heatmap to w after the run.
 func WithTrace(w io.Writer) Option {
 	return func(rc *runConfig) { rc.trace = w }
+}
+
+// WithTimeline records the run as a Chrome trace-event / Perfetto JSON
+// timeline written to w after the run completes: per-core activity
+// spans (compute, DMA wait, flag spin), DMA transfer legs, chip-to-chip
+// eLink crossings, and - when the run uses the parallel scheduler - the
+// engine's barrier rounds on a scheduler track. Open the file in
+// ui.perfetto.dev. Recording is observational: the run's Metrics are
+// bit-identical with or without it.
+func WithTimeline(w io.Writer) Option {
+	return func(rc *runConfig) { rc.timeline = w }
+}
+
+// WithEngineStats snapshots the event engine's scheduler counters
+// (events per shard, barrier rounds, lookahead holds, booking parks,
+// the sys shard's executed-event share; see sim.EngineStats) into the
+// result's Metrics.Engine field. Purely additive: every other Metrics
+// field is bit-identical with or without it, but note that Metrics
+// values carrying stats compare unequal to bare ones (Engine is a
+// pointer), so golden comparisons should run without.
+func WithEngineStats() Option {
+	return func(rc *runConfig) { rc.engineStats = true }
 }
 
 // WithPowerModel attaches the named power-model preset (see
@@ -211,6 +235,14 @@ func runOn(ctx context.Context, w Workload, sys *system.System, rc *runConfig) (
 		workers = 1
 	}
 	sys.SetWorkers(workers)
+	var tl *trace.Timeline
+	if rc.timeline != nil {
+		tl = trace.NewTimeline()
+		tl.Attach(sys.Chip())
+		// Detach before the board returns to the pool, error or not: a
+		// recycled board must never record a stranger's run.
+		defer tl.Detach(sys.Chip())
+	}
 	res, err := w.Run(ctx, sys)
 	if err != nil {
 		return nil, err
@@ -221,12 +253,20 @@ func runOn(ctx context.Context, w Workload, sys *system.System, rc *runConfig) (
 			return nil, fmt.Errorf("epiphany: energy accounting for %q: %w", w.Name(), err)
 		}
 	}
+	if rc.engineStats {
+		res = attachEngineStats(res, sys)
+	}
 	if rc.trace != nil {
 		if _, err := io.WriteString(rc.trace, trace.Take(sys.Chip()).String()); err != nil {
 			return nil, fmt.Errorf("epiphany: writing trace for %q: %w", w.Name(), err)
 		}
 		if _, err := io.WriteString(rc.trace, trace.LinkHeat(sys.Chip())); err != nil {
 			return nil, fmt.Errorf("epiphany: writing trace for %q: %w", w.Name(), err)
+		}
+	}
+	if tl != nil {
+		if err := tl.Export(rc.timeline); err != nil {
+			return nil, fmt.Errorf("epiphany: writing timeline for %q: %w", w.Name(), err)
 		}
 	}
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"epiphany/internal/sim"
 	"epiphany/internal/system"
 	"epiphany/internal/workload"
 )
@@ -39,6 +40,14 @@ type (
 	// Topology describes the simulated fabric: a single chip or a board
 	// of chips glued through chip-to-chip eLinks.
 	Topology = system.Topology
+	// EngineStats is the event engine's scheduler-counter snapshot,
+	// reported in Metrics.Engine when a run asks for it with
+	// WithEngineStats: per-shard executed events and heap peaks, barrier
+	// rounds and phase wall times under the parallel scheduler, lookahead
+	// and booking-floor holds, and the sys shard's executed-event share.
+	EngineStats = sim.EngineStats
+	// ShardStats is one shard's slice of EngineStats.
+	ShardStats = sim.ShardStats
 
 	// StencilWorkload runs the §VI heat stencil as a Workload.
 	StencilWorkload = workload.Stencil
@@ -118,6 +127,19 @@ func WithSeed(seed uint64) Option { return workload.WithSeed(seed) }
 // WithTrace writes the per-core activity heatmaps and the mesh-link
 // heatmap to w after the run.
 func WithTrace(w io.Writer) Option { return workload.WithTrace(w) }
+
+// WithTimeline records the run as a Chrome trace-event / Perfetto JSON
+// timeline written to w after the run: per-core activity spans
+// (compute, DMA wait, flag spin), DMA transfer legs, chip-to-chip eLink
+// crossings, and the parallel scheduler's barrier rounds. Open the
+// output in ui.perfetto.dev. Recording is observational - Metrics are
+// bit-identical with or without it.
+func WithTimeline(w io.Writer) Option { return workload.WithTimeline(w) }
+
+// WithEngineStats snapshots the event engine's scheduler counters into
+// the result's Metrics.Engine (see EngineStats). Every other Metrics
+// field is bit-identical with or without it.
+func WithEngineStats() Option { return workload.WithEngineStats() }
 
 // WithShards partitions a multi-chip board's event engine into n shards
 // (0 = auto, one per chip; 1 = the classic single event heap; up to one
